@@ -1,0 +1,154 @@
+//! Component microbenchmarks: the hot paths of every substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ia_core::{postpone, prob};
+use ia_des::{EventQueue, SimDuration, SimRng, SimTime};
+use ia_geo::{Circle, Point, UniformGrid, Vector};
+use ia_mobility::{Fleet, MobilityModel, RandomWaypoint};
+use ia_radio::{Medium, RadioConfig};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("des_event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut x: u64 = 0x9E3779B97F4A7C15;
+            for i in 0..10_000u64 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                q.push(SimTime::from_micros(x % 1_000_000), i);
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+}
+
+fn bench_grid(c: &mut Criterion) {
+    let mut rng = SimRng::from_master(1);
+    let pts: Vec<(u32, Point)> = (0..1000)
+        .map(|i| {
+            (
+                i,
+                Point::new(rng.range_f64(0.0, 5000.0), rng.range_f64(0.0, 5000.0)),
+            )
+        })
+        .collect();
+    let grid = UniformGrid::build(250.0, pts);
+    c.bench_function("geo_grid_disk_query_1000pts", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            grid.query_disk_into(black_box(Point::new(2500.0, 2500.0)), 250.0, &mut out);
+            out.len()
+        })
+    });
+}
+
+fn bench_lens(c: &mut Criterion) {
+    let a = Circle::new(Point::ORIGIN, 250.0);
+    c.bench_function("geo_lens_overlap_fraction", |b| {
+        let mut d = 0.0f64;
+        b.iter(|| {
+            d = (d + 7.3) % 250.0;
+            a.overlap_fraction(&Circle::new(Point::new(black_box(d), 0.0), 250.0))
+        })
+    });
+}
+
+fn bench_mobility(c: &mut Criterion) {
+    let model = RandomWaypoint::paper(ia_geo::Rect::with_size(5000.0, 5000.0), 10.0, 5.0);
+    c.bench_function("mobility_rwp_generate_2000s", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = SimRng::from_master(seed);
+            model.trajectory(&mut rng, SimTime::ZERO, SimTime::from_secs(2000.0))
+        })
+    });
+    let mut rng = SimRng::from_master(9);
+    let tr = model.trajectory(&mut rng, SimTime::ZERO, SimTime::from_secs(2000.0));
+    c.bench_function("mobility_position_lookup", |b| {
+        let mut t = 0.0f64;
+        b.iter(|| {
+            t = (t + 13.7) % 2000.0;
+            tr.position_at(SimTime::from_secs(black_box(t)))
+        })
+    });
+}
+
+fn bench_radio(c: &mut Criterion) {
+    let model = RandomWaypoint::paper(ia_geo::Rect::with_size(5000.0, 5000.0), 10.0, 5.0);
+    let fleet = Fleet::generate(&model, 1000, 3, SimTime::ZERO, SimTime::from_secs(200.0));
+    c.bench_function("radio_broadcast_1000_nodes", |b| {
+        let mut medium = Medium::new(RadioConfig::paper());
+        let mut rng = SimRng::from_master(4);
+        let mut src = 0u32;
+        b.iter(|| {
+            src = (src + 1) % 1000;
+            medium.broadcast(&fleet, SimTime::from_secs(100.0), src, 300, &mut rng)
+        })
+    });
+}
+
+fn bench_formulas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core_formulas");
+    {
+        let alpha = 0.5f64;
+        group.bench_with_input(BenchmarkId::new("formula1", alpha), &alpha, |b, &a| {
+            let mut d = 0.0;
+            b.iter(|| {
+                d = (d + 17.0) % 2000.0;
+                prob::forwarding_probability(a, black_box(d), 1000.0, 100.0, 25.0)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("formula3", alpha), &alpha, |b, &a| {
+            let mut d = 0.0;
+            b.iter(|| {
+                d = (d + 17.0) % 2000.0;
+                prob::annular_probability(a, black_box(d), 1000.0, 250.0, 100.0, 25.0, 25.0)
+            })
+        });
+    }
+
+    group.bench_function("formula2_radius", |b| {
+        let mut t = 0.0;
+        b.iter(|| {
+            t = (t + 3.0) % 1800.0;
+            prob::radius_at(
+                0.5,
+                1000.0,
+                SimDuration::from_secs(black_box(t)),
+                SimDuration::from_secs(1800.0),
+                SimDuration::from_secs(5.0),
+            )
+        })
+    });
+    group.bench_function("formula4_postponement", |b| {
+        let mut d = 0.0;
+        b.iter(|| {
+            d = (d + 3.0) % 250.0;
+            postpone::postponement(
+                SimDuration::from_secs(5.0),
+                Point::ORIGIN,
+                Vector::new(10.0, 3.0),
+                Point::new(black_box(d), 10.0),
+                250.0,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_grid,
+    bench_lens,
+    bench_mobility,
+    bench_radio,
+    bench_formulas
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 10 bench: the tuning sweeps (alpha, round time, DIS) plus the
+//! section IV-C beta sweep, at bench scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ia_bench::{beta_point, fig10_alpha, fig10_dis, fig10_round_time};
+use ia_experiments::run_scenario;
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_tuning");
+    group.sample_size(10);
+    group.sample_size(10);
+    for &alpha in &[0.1f64, 0.5, 0.9] {
+        group.bench_with_input(
+            BenchmarkId::new("alpha", format!("{alpha}")),
+            &fig10_alpha(alpha),
+            |b, s| b.iter(|| run_scenario(s)),
+        );
+    }
+    for &rt in &[2.0f64, 5.0, 20.0] {
+        group.bench_with_input(
+            BenchmarkId::new("round_time", format!("{rt}s")),
+            &fig10_round_time(rt),
+            |b, s| b.iter(|| run_scenario(s)),
+        );
+    }
+    for &dis in &[50.0f64, 250.0, 500.0] {
+        group.bench_with_input(
+            BenchmarkId::new("dis", format!("{dis}m")),
+            &fig10_dis(dis),
+            |b, s| b.iter(|| run_scenario(s)),
+        );
+    }
+    for &beta in &[0.1f64, 0.9] {
+        group.bench_with_input(
+            BenchmarkId::new("beta", format!("{beta}")),
+            &beta_point(beta),
+            |b, s| b.iter(|| run_scenario(s)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 7 bench: one full (scaled) scenario run per protocol per
+//! network size. Regenerates the paper's network-size sweep as a
+//! Criterion group; the experiment binary `fig7` produces the same rows
+//! at full scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ia_bench::fig7_point;
+use ia_core::ProtocolKind;
+use ia_experiments::run_scenario;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_network_size");
+    group.sample_size(10);
+    for &n in &[100usize, 300, 600] {
+        for kind in ProtocolKind::ALL {
+            let scenario = fig7_point(kind, n);
+            group.bench_with_input(
+                BenchmarkId::new(kind.label().replace(' ', "_"), n),
+                &scenario,
+                |b, s| b.iter(|| run_scenario(s)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

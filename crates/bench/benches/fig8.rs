@@ -1,0 +1,30 @@
+//! Figure 8 bench: motion-speed sweep (scaled) for the three protocols
+//! the paper plots. The `fig8` binary produces the full-scale rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ia_bench::fig8_point;
+use ia_core::ProtocolKind;
+use ia_experiments::run_scenario;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_speed");
+    group.sample_size(10);
+    for &v in &[5.0f64, 15.0, 30.0] {
+        for kind in [
+            ProtocolKind::Flooding,
+            ProtocolKind::Gossip,
+            ProtocolKind::OptGossip,
+        ] {
+            let scenario = fig8_point(kind, v);
+            group.bench_with_input(
+                BenchmarkId::new(kind.label().replace(' ', "_"), format!("{v}mps")),
+                &scenario,
+                |b, s| b.iter(|| run_scenario(s)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 9 bench: pure gossiping vs each optimization mechanism
+//! (scaled), the workload behind the message-reduction table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ia_bench::fig9_point;
+use ia_core::ProtocolKind;
+use ia_experiments::run_scenario;
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_mechanisms");
+    group.sample_size(10);
+    for &n in &[100usize, 600] {
+        for kind in [
+            ProtocolKind::Gossip,
+            ProtocolKind::OptGossip1,
+            ProtocolKind::OptGossip2,
+            ProtocolKind::OptGossip,
+        ] {
+            let scenario = fig9_point(kind, n);
+            group.bench_with_input(
+                BenchmarkId::new(kind.label().replace(' ', "_"), n),
+                &scenario,
+                |b, s| b.iter(|| run_scenario(s)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

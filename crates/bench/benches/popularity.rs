@@ -1,0 +1,63 @@
+//! Popularity (§III-E) bench: FM sketch insertion/estimation and the
+//! Algorithm-5 interest-processing pipeline that every receive executes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ia_core::{rank, AdId, Advertisement, GossipParams, PeerId, UserProfile};
+use ia_des::{SimDuration, SimTime};
+use ia_geo::Point;
+use ia_sketch::FmBundle;
+
+fn bench_sketches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("popularity_fm");
+    for &n in &[100u64, 1000, 10_000] {
+        group.bench_with_input(BenchmarkId::new("insert", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut bundle = FmBundle::new(1, 16, 16);
+                for u in 0..n {
+                    bundle.insert(black_box(u));
+                }
+                bundle
+            })
+        });
+    }
+    let mut full = FmBundle::new(1, 16, 16);
+    for u in 0..10_000u64 {
+        full.insert(u);
+    }
+    group.bench_function("estimate", |b| b.iter(|| black_box(&full).estimate()));
+    let other = full.clone();
+    group.bench_function("merge", |b| {
+        b.iter(|| {
+            let mut m = full.clone();
+            m.merge(black_box(&other));
+            m
+        })
+    });
+    group.finish();
+}
+
+fn bench_algorithm5(c: &mut Criterion) {
+    let params = GossipParams::paper();
+    let ad = Advertisement::new(
+        AdId::new(PeerId(0), 0),
+        Point::new(2500.0, 2500.0),
+        SimTime::ZERO,
+        1000.0,
+        SimDuration::from_secs(1800.0),
+        vec![1, 2, 3],
+        200,
+        &params,
+    );
+    c.bench_function("popularity_algorithm5_process_interest", |b| {
+        let mut uid = 0u64;
+        b.iter(|| {
+            let mut copy = ad.clone();
+            uid += 1;
+            let profile = UserProfile::new(uid, vec![2]);
+            rank::process_interest(&mut copy, &profile, &params)
+        })
+    });
+}
+
+criterion_group!(benches, bench_sketches, bench_algorithm5);
+criterion_main!(benches);

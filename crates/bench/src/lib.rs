@@ -1,0 +1,10 @@
+//! Benchmark support crate.
+//!
+//! The actual benchmarks live in `benches/`; this library only exposes
+//! small scenario presets shared between them so that every figure-level
+//! bench measures exactly the workload the corresponding experiment
+//! binary runs (at a reduced scale suitable for Criterion's repetition).
+
+pub mod presets;
+
+pub use presets::*;

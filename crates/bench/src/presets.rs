@@ -1,0 +1,99 @@
+//! Scenario presets shared by the Criterion benches.
+//!
+//! Each figure bench measures exactly the workload the corresponding
+//! experiment binary runs, scaled to a 120-second life cycle so that
+//! Criterion can repeat runs. The presets are deterministic (fixed
+//! seeds), so bench numbers are comparable across machines and commits.
+
+use ia_core::ProtocolKind;
+use ia_des::SimDuration;
+use ia_experiments::scenario::{MobilityKind, Scenario};
+
+/// The bench life cycle (seconds).
+pub const BENCH_LIFE_CYCLE_S: f64 = 120.0;
+
+/// Base bench scenario: paper Table II at a reduced life cycle.
+pub fn bench_scenario(kind: ProtocolKind, n_peers: usize) -> Scenario {
+    Scenario::paper(kind, n_peers)
+        .with_seed(1)
+        .with_life_cycle(SimDuration::from_secs(BENCH_LIFE_CYCLE_S))
+}
+
+/// Figure 7 point: protocol x network size.
+pub fn fig7_point(kind: ProtocolKind, n_peers: usize) -> Scenario {
+    bench_scenario(kind, n_peers)
+}
+
+/// Figure 8 point: protocol x mean speed (300 peers).
+pub fn fig8_point(kind: ProtocolKind, speed: f64) -> Scenario {
+    bench_scenario(kind, 300).with_speed(speed, 4.0)
+}
+
+/// Figure 9 point: mechanism x network size (message-reduction study).
+pub fn fig9_point(kind: ProtocolKind, n_peers: usize) -> Scenario {
+    bench_scenario(kind, n_peers)
+}
+
+/// Figure 10(a) point: alpha sweep on Optimized Gossiping.
+pub fn fig10_alpha(alpha: f64) -> Scenario {
+    let mut s = bench_scenario(ProtocolKind::OptGossip, 300);
+    s.params = s.params.with_alpha(alpha);
+    s
+}
+
+/// Figure 10(b) point: round-time sweep.
+pub fn fig10_round_time(seconds: f64) -> Scenario {
+    let mut s = bench_scenario(ProtocolKind::OptGossip, 300);
+    s.params = s.params.with_round_time(SimDuration::from_secs(seconds));
+    s
+}
+
+/// Figure 10(c) point: DIS sweep.
+pub fn fig10_dis(dis: f64) -> Scenario {
+    let mut s = bench_scenario(ProtocolKind::OptGossip, 300);
+    s.params = s.params.with_dis(dis);
+    s
+}
+
+/// Beta-sweep point (§IV-C).
+pub fn beta_point(beta: f64) -> Scenario {
+    let mut s = bench_scenario(ProtocolKind::OptGossip, 300);
+    s.params = s.params.with_beta(beta);
+    s
+}
+
+/// Robustness point: Manhattan mobility.
+pub fn manhattan_point(kind: ProtocolKind) -> Scenario {
+    bench_scenario(kind, 300).with_mobility(MobilityKind::Manhattan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate_and_are_scaled() {
+        for s in [
+            fig7_point(ProtocolKind::Flooding, 100),
+            fig8_point(ProtocolKind::Gossip, 20.0),
+            fig9_point(ProtocolKind::OptGossip2, 200),
+            fig10_alpha(0.7),
+            fig10_round_time(2.0),
+            fig10_dis(100.0),
+            beta_point(0.9),
+            manhattan_point(ProtocolKind::OptGossip),
+        ] {
+            s.validate();
+            assert_eq!(
+                s.ads[0].duration,
+                SimDuration::from_secs(BENCH_LIFE_CYCLE_S)
+            );
+        }
+    }
+
+    #[test]
+    fn presets_run() {
+        let r = ia_experiments::run_scenario(&fig7_point(ProtocolKind::OptGossip, 100));
+        assert!(r.messages() > 0);
+    }
+}

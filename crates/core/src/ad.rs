@@ -1,0 +1,225 @@
+//! The advertisement object.
+
+use crate::ids::AdId;
+use crate::params::GossipParams;
+use crate::prob;
+use ia_des::{SimDuration, SimTime};
+use ia_geo::Point;
+use ia_sketch::FmBundle;
+
+/// Fixed per-message header overhead of the canonical wire encoding:
+/// magic, flags, ad id, issue time/coordinates, initial and current
+/// radius/duration (see [`crate::codec`] for the layout).
+pub const HEADER_BYTES: usize = 67;
+
+/// An instant advertisement as carried on the wire.
+///
+/// `radius`/`duration` start at the issuer's `initial_radius`/
+/// `initial_duration` and may grow through popularity enlargement
+/// (formula 7); the initial values are retained because the enlargement
+/// increments and the hard cap are defined relative to them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Advertisement {
+    pub id: AdId,
+    /// Where the advertisement was issued (the centre of the advertising
+    /// area).
+    pub issue_pos: Point,
+    /// When it was issued.
+    pub issue_time: SimTime,
+    /// Issuer-chosen advertising radius `R0`, metres.
+    pub initial_radius: f64,
+    /// Issuer-chosen duration `D0`.
+    pub initial_duration: SimDuration,
+    /// Current (possibly enlarged) radius `R`.
+    pub radius: f64,
+    /// Current (possibly enlarged) duration `D`.
+    pub duration: SimDuration,
+    /// Topic keywords (interest ids) this ad advertises, sorted.
+    pub topics: Vec<u32>,
+    /// Size of the human-readable content, bytes (for traffic accounting;
+    /// the content itself is irrelevant to the protocols).
+    pub payload_bytes: usize,
+    /// Piggybacked FM sketches counting distinct interested users.
+    pub sketches: FmBundle,
+}
+
+impl Advertisement {
+    /// Create a fresh advertisement with the sketch bundle shaped by
+    /// `params`.
+    #[allow(clippy::too_many_arguments)] // mirrors the wire-format fields
+    pub fn new(
+        id: AdId,
+        issue_pos: Point,
+        issue_time: SimTime,
+        radius: f64,
+        duration: SimDuration,
+        mut topics: Vec<u32>,
+        payload_bytes: usize,
+        params: &GossipParams,
+    ) -> Self {
+        assert!(radius > 0.0, "non-positive advertising radius");
+        assert!(!duration.is_zero(), "zero advertising duration");
+        topics.sort_unstable();
+        topics.dedup();
+        Advertisement {
+            id,
+            issue_pos,
+            issue_time,
+            initial_radius: radius,
+            initial_duration: duration,
+            radius,
+            duration,
+            topics,
+            payload_bytes,
+            sketches: FmBundle::new(params.sketch_seed, params.sketch_f, params.sketch_l),
+        }
+    }
+
+    /// Age at time `now` (zero before issue).
+    pub fn age(&self, now: SimTime) -> SimDuration {
+        now.since(self.issue_time)
+    }
+
+    /// Has the advertisement outlived its (possibly enlarged) duration?
+    pub fn expired(&self, now: SimTime) -> bool {
+        self.age(now) >= self.duration
+    }
+
+    /// Formula (2): the current advertising radius `R_t`.
+    pub fn radius_at(&self, now: SimTime, params: &GossipParams) -> f64 {
+        prob::radius_at(
+            params.beta,
+            self.radius,
+            self.age(now),
+            self.duration,
+            params.age_unit,
+        )
+    }
+
+    /// Does `topic` match this advertisement? (The paper's `Match`
+    /// function compares an ad against one interest keyword.)
+    pub fn matches_topic(&self, topic: u32) -> bool {
+        self.topics.binary_search(&topic).is_ok()
+    }
+
+    /// Total wire size of this advertisement in a gossip message — the
+    /// exact canonical encoding length (see [`crate::codec`]).
+    pub fn wire_bytes(&self) -> usize {
+        crate::codec::ad_encoded_len(self)
+    }
+
+    /// Merge a copy of the same advertisement received from a neighbour:
+    /// sketches are OR-ed (duplicate-insensitive), and the spatial/
+    /// temporal parameters take the maximum seen, so popularity
+    /// enlargements propagate monotonically through the network.
+    pub fn absorb(&mut self, other: &Advertisement) {
+        assert_eq!(self.id, other.id, "absorbing a different advertisement");
+        self.sketches.merge(&other.sketches);
+        self.radius = self.radius.max(other.radius);
+        self.duration = self.duration.max(other.duration);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::PeerId;
+
+    fn ad() -> Advertisement {
+        Advertisement::new(
+            AdId::new(PeerId(1), 0),
+            Point::new(2500.0, 2500.0),
+            SimTime::from_secs(100.0),
+            1000.0,
+            SimDuration::from_secs(1800.0),
+            vec![3, 1, 3],
+            200,
+            &GossipParams::paper(),
+        )
+    }
+
+    #[test]
+    fn topics_sorted_and_deduped() {
+        let a = ad();
+        assert_eq!(a.topics, vec![1, 3]);
+        assert!(a.matches_topic(1));
+        assert!(a.matches_topic(3));
+        assert!(!a.matches_topic(2));
+    }
+
+    #[test]
+    fn age_and_expiry() {
+        let a = ad();
+        assert_eq!(a.age(SimTime::from_secs(50.0)), SimDuration::ZERO);
+        assert_eq!(
+            a.age(SimTime::from_secs(400.0)),
+            SimDuration::from_secs(300.0)
+        );
+        assert!(!a.expired(SimTime::from_secs(1899.0)));
+        assert!(a.expired(SimTime::from_secs(1900.0)));
+        assert!(a.expired(SimTime::from_secs(5000.0)));
+    }
+
+    #[test]
+    fn radius_shrinks_with_age() {
+        let a = ad();
+        let p = GossipParams::paper();
+        let fresh = a.radius_at(SimTime::from_secs(100.0), &p);
+        let old = a.radius_at(SimTime::from_secs(1800.0), &p);
+        let dead = a.radius_at(SimTime::from_secs(1901.0), &p);
+        assert!(fresh > 999.0);
+        assert!(old < fresh && old > 0.0);
+        assert_eq!(dead, 0.0);
+    }
+
+    #[test]
+    fn wire_bytes_accounts_for_everything() {
+        let a = ad();
+        // 67 fixed + (2 + 8) topics + (2 + 32 + 8) sketches
+        // + (4 + 200) payload.
+        assert_eq!(a.wire_bytes(), 67 + 10 + 42 + 204);
+        assert_eq!(a.wire_bytes(), crate::codec::ad_encoded_len(&a));
+    }
+
+    #[test]
+    fn absorb_merges_sketches_and_takes_maxima() {
+        let mut a = ad();
+        let mut b = ad();
+        b.sketches.insert(77);
+        b.radius = 1200.0;
+        b.duration = SimDuration::from_secs(2000.0);
+        a.sketches.insert(99);
+        a.absorb(&b);
+        assert_eq!(a.radius, 1200.0);
+        assert_eq!(a.duration, SimDuration::from_secs(2000.0));
+        // a now covers both users' bits.
+        let mut expect = ad().sketches;
+        expect.insert(77);
+        expect.insert(99);
+        assert_eq!(a.sketches, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "different advertisement")]
+    fn absorb_rejects_mismatched_ids() {
+        let mut a = ad();
+        let mut b = ad();
+        b.id = AdId::new(PeerId(9), 9);
+        a.absorb(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive advertising radius")]
+    fn zero_radius_rejected() {
+        let _ = Advertisement::new(
+            AdId::new(PeerId(1), 0),
+            Point::ORIGIN,
+            SimTime::ZERO,
+            0.0,
+            SimDuration::from_secs(1.0),
+            vec![],
+            0,
+            &GossipParams::paper(),
+        );
+    }
+}

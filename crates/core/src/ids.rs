@@ -1,0 +1,57 @@
+//! Peer and advertisement identities.
+
+use std::fmt;
+
+/// A peer's network identity. The paper identifies peers by MAC address;
+/// the simulator uses dense `u32` ids (which double as fleet/radio node
+/// indices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PeerId(pub u32);
+
+/// An advertisement's identity: "an advertisement is identified by the
+/// issuer's MAC address plus ID" (§III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AdId {
+    pub issuer: PeerId,
+    pub seq: u32,
+}
+
+impl AdId {
+    pub fn new(issuer: PeerId, seq: u32) -> Self {
+        AdId { issuer, seq }
+    }
+}
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "peer{}", self.0)
+    }
+}
+
+impl fmt::Display for AdId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ad{}.{}", self.issuer.0, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_hash_and_compare() {
+        let a = AdId::new(PeerId(1), 0);
+        let b = AdId::new(PeerId(1), 1);
+        let c = AdId::new(PeerId(2), 0);
+        let set: HashSet<AdId> = [a, b, c, a].into_iter().collect();
+        assert_eq!(set.len(), 3);
+        assert!(a < b && a < c);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(AdId::new(PeerId(3), 7).to_string(), "ad3.7");
+        assert_eq!(PeerId(5).to_string(), "peer5");
+    }
+}

@@ -1,0 +1,364 @@
+//! Restricted Flooding (§III-B) — the paper's baseline.
+//!
+//! "The issuer peer broadcasts the advertisement with radius R embedded
+//! in the message to its neighbors periodically, and then each neighbor
+//! peer that receives the message relays it further until the message is
+//! outside the advertising area limited by R. The broadcasting cycle is
+//! set to be the Round Time, and R will be decreased gradually by the
+//! issuer peer as time elapses."
+//!
+//! Implementation notes:
+//!
+//! * Each issuer broadcast starts a numbered *wave*; a relay forwards a
+//!   given wave at most once (tracked by the highest wave relayed per
+//!   ad), which is what bounds the per-round message count at
+//!   `O(rho * pi * R^2)`.
+//! * The radius stamped on each wave follows formula (2), realising "R
+//!   will be decreased gradually"; when it reaches zero the issuer stops.
+//! * Relays forward immediately on receipt (flooding has no
+//!   store-&-forward), which is exactly why it collapses in sparse,
+//!   partitioned networks (Figure 7a).
+//! * Interest processing (Algorithm 5) still runs on first receipt so the
+//!   popularity machinery is comparable across protocols.
+
+use super::{Action, AdMessage, PeerContext, Protocol, ProtocolKind, RxMeta};
+use crate::ad::Advertisement;
+use crate::ids::AdId;
+use crate::interest::UserProfile;
+use crate::params::GossipParams;
+use crate::rank;
+use std::collections::HashMap;
+
+/// Per-issued-ad issuer state.
+#[derive(Debug, Clone)]
+struct Issued {
+    ad: Advertisement,
+    next_wave: u32,
+}
+
+/// Restricted Flooding protocol state for one peer.
+pub struct RestrictedFlooding {
+    params: GossipParams,
+    profile: UserProfile,
+    /// Ads this peer issued (it keeps re-broadcasting them).
+    issued: Vec<Issued>,
+    /// Highest wave relayed per ad (receiver role).
+    relayed: HashMap<AdId, u32>,
+    /// Ads ever received (for first-receipt detection).
+    received: HashMap<AdId, ()>,
+    /// Whether the periodic issuer round is currently scheduled.
+    round_scheduled: bool,
+}
+
+impl RestrictedFlooding {
+    pub fn new(params: GossipParams, profile: UserProfile) -> Self {
+        params.validate();
+        RestrictedFlooding {
+            params,
+            profile,
+            issued: Vec::new(),
+            relayed: HashMap::new(),
+            received: HashMap::new(),
+            round_scheduled: false,
+        }
+    }
+
+    fn broadcast_wave(&mut self, idx: usize, now: ia_des::SimTime) -> Option<AdMessage> {
+        let issued = &mut self.issued[idx];
+        let r_t = issued.ad.radius_at(now, &self.params);
+        if r_t <= 0.0 {
+            return None;
+        }
+        let wave = issued.next_wave;
+        issued.next_wave += 1;
+        Some(AdMessage::flood(issued.ad.clone(), wave, r_t))
+    }
+}
+
+impl Protocol for RestrictedFlooding {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Flooding
+    }
+
+    fn on_start(&mut self, ctx: &mut PeerContext<'_>) -> Vec<Action> {
+        // Pure receivers need no timers; issuers start their cycle in
+        // `issue`. On a restart with live issued ads (the issuer's device
+        // came back), resume the broadcast cycle.
+        let now = ctx.now;
+        self.issued.retain(|i| !i.ad.expired(now));
+        if !self.issued.is_empty() && !self.round_scheduled {
+            self.round_scheduled = true;
+            return vec![Action::ScheduleRound(now + self.params.round_time)];
+        }
+        Vec::new()
+    }
+
+    fn issue(&mut self, ctx: &mut PeerContext<'_>, ad: Advertisement) -> Vec<Action> {
+        self.received.insert(ad.id, ());
+        self.issued.push(Issued { ad, next_wave: 0 });
+        let idx = self.issued.len() - 1;
+        let mut actions = Vec::new();
+        if let Some(msg) = self.broadcast_wave(idx, ctx.now) {
+            actions.push(Action::Broadcast(msg));
+        }
+        if !self.round_scheduled {
+            self.round_scheduled = true;
+            actions.push(Action::ScheduleRound(ctx.now + self.params.round_time));
+        }
+        actions
+    }
+
+    fn on_round(&mut self, ctx: &mut PeerContext<'_>) -> Vec<Action> {
+        // Issuer role: re-broadcast every live ad, drop the dead ones.
+        let mut actions = Vec::new();
+        let now = ctx.now;
+        self.issued.retain(|i| !i.ad.expired(now));
+        for idx in 0..self.issued.len() {
+            if let Some(msg) = self.broadcast_wave(idx, now) {
+                actions.push(Action::Broadcast(msg));
+            }
+        }
+        if self.issued.is_empty() {
+            // Nothing left to advertise; stop the cycle.
+            self.round_scheduled = false;
+        } else {
+            actions.push(Action::ScheduleRound(now + self.params.round_time));
+        }
+        actions
+    }
+
+    fn on_receive(
+        &mut self,
+        ctx: &mut PeerContext<'_>,
+        msg: &AdMessage,
+        _meta: &RxMeta,
+    ) -> Vec<Action> {
+        let Some(flood) = msg.flood else {
+            // Gossip traffic reaching a flooding peer is ignored (mixed
+            // deployments are out of scope, but don't crash).
+            return Vec::new();
+        };
+        if msg.ad.expired(ctx.now) {
+            return Vec::new();
+        }
+        let mut actions = Vec::new();
+        let first_time = self.received.insert(msg.ad.id, ()).is_none();
+        let mut ad = msg.ad.clone();
+        if first_time {
+            // Interest processing on first receipt (Algorithm 5).
+            rank::process_interest(&mut ad, &self.profile, &self.params);
+            actions.push(Action::Accepted { ad: ad.id });
+        }
+        // Relay the wave if it is new to us and we are inside the stamped
+        // advertising radius.
+        let newest = self.relayed.get(&ad.id).copied();
+        let wave_is_new = newest.is_none_or(|w| flood.wave > w);
+        let inside = ctx.position.distance(ad.issue_pos) <= flood.radius;
+        if wave_is_new {
+            self.relayed.insert(ad.id, flood.wave);
+            if inside {
+                actions.push(Action::Broadcast(AdMessage::flood(
+                    ad,
+                    flood.wave,
+                    flood.radius,
+                )));
+            }
+        }
+        actions
+    }
+
+    fn on_entry_timer(&mut self, _ctx: &mut PeerContext<'_>, _ad: AdId) -> Vec<Action> {
+        Vec::new() // flooding has no per-entry timers
+    }
+
+    fn holds(&self, ad: AdId) -> bool {
+        self.received.contains_key(&ad)
+    }
+
+    fn cached_ad(&self, ad: AdId) -> Option<&Advertisement> {
+        self.issued.iter().find(|i| i.ad.id == ad).map(|i| &i.ad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::PeerId;
+    use ia_des::{SimDuration, SimRng, SimTime};
+    use ia_geo::{Point, Vector};
+
+    fn params() -> GossipParams {
+        GossipParams::paper()
+    }
+
+    fn mk_ad(seq: u32) -> Advertisement {
+        Advertisement::new(
+            AdId::new(PeerId(0), seq),
+            Point::new(2500.0, 2500.0),
+            SimTime::from_secs(10.0),
+            1000.0,
+            SimDuration::from_secs(1800.0),
+            vec![1],
+            100,
+            &params(),
+        )
+    }
+
+    fn ctx<'a>(rng: &'a mut SimRng, now: f64, pos: Point) -> PeerContext<'a> {
+        PeerContext {
+            now: SimTime::from_secs(now),
+            position: pos,
+            velocity: Vector::ZERO,
+            rng,
+        }
+    }
+
+    fn meta(from: u32, pos: Point) -> RxMeta {
+        RxMeta {
+            sender_pos: pos,
+            from,
+            distance: 50.0,
+        }
+    }
+
+    #[test]
+    fn issuer_broadcasts_and_schedules_rounds() {
+        let mut p = RestrictedFlooding::new(params(), UserProfile::indifferent(1));
+        let mut rng = SimRng::from_master(1);
+        let mut c = ctx(&mut rng, 10.0, Point::new(2500.0, 2500.0));
+        let actions = p.issue(&mut c, mk_ad(0));
+        assert!(matches!(actions[0], Action::Broadcast(_)));
+        assert!(matches!(actions[1], Action::ScheduleRound(t) if t == SimTime::from_secs(15.0)));
+        assert!(p.holds(AdId::new(PeerId(0), 0)));
+    }
+
+    #[test]
+    fn issuer_round_rebroadcasts_with_wave_numbers() {
+        let mut p = RestrictedFlooding::new(params(), UserProfile::indifferent(1));
+        let mut rng = SimRng::from_master(1);
+        let mut c = ctx(&mut rng, 10.0, Point::new(2500.0, 2500.0));
+        p.issue(&mut c, mk_ad(0));
+        let mut c2 = ctx(&mut rng, 15.0, Point::new(2500.0, 2500.0));
+        let actions = p.on_round(&mut c2);
+        let waves: Vec<u32> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Broadcast(m) => Some(m.flood.unwrap().wave),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(waves, vec![1]);
+    }
+
+    #[test]
+    fn issuer_stops_after_expiry() {
+        let mut p = RestrictedFlooding::new(params(), UserProfile::indifferent(1));
+        let mut rng = SimRng::from_master(1);
+        let mut c = ctx(&mut rng, 10.0, Point::new(2500.0, 2500.0));
+        p.issue(&mut c, mk_ad(0));
+        // Way past expiry (issue 10 + duration 1800).
+        let mut c2 = ctx(&mut rng, 2000.0, Point::new(2500.0, 2500.0));
+        let actions = p.on_round(&mut c2);
+        assert!(actions.is_empty(), "expired ad must stop the cycle: {actions:?}");
+    }
+
+    #[test]
+    fn receiver_relays_new_wave_inside_radius_once() {
+        let mut p = RestrictedFlooding::new(params(), UserProfile::indifferent(2));
+        let mut rng = SimRng::from_master(2);
+        let msg = AdMessage::flood(mk_ad(0), 3, 1000.0);
+        let inside = Point::new(2600.0, 2500.0);
+        let mut c = ctx(&mut rng, 20.0, inside);
+        let actions = p.on_receive(&mut c, &msg, &meta(5, Point::new(2550.0, 2500.0)));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Accepted { .. })));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Broadcast(m) if m.flood.unwrap().wave == 3)));
+        // Duplicate wave: no relay, no accept.
+        let mut c2 = ctx(&mut rng, 21.0, inside);
+        let again = p.on_receive(&mut c2, &msg, &meta(6, Point::new(2550.0, 2500.0)));
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn receiver_outside_radius_accepts_but_does_not_relay() {
+        let mut p = RestrictedFlooding::new(params(), UserProfile::indifferent(2));
+        let mut rng = SimRng::from_master(3);
+        let msg = AdMessage::flood(mk_ad(0), 0, 1000.0);
+        let outside = Point::new(4000.0, 2500.0); // 1500 m from centre
+        let mut c = ctx(&mut rng, 20.0, outside);
+        let actions = p.on_receive(&mut c, &msg, &meta(5, Point::new(3800.0, 2500.0)));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Accepted { .. })));
+        assert!(!actions.iter().any(|a| matches!(a, Action::Broadcast(_))));
+    }
+
+    #[test]
+    fn later_waves_are_relayed_earlier_ones_ignored() {
+        let mut p = RestrictedFlooding::new(params(), UserProfile::indifferent(2));
+        let mut rng = SimRng::from_master(4);
+        let inside = Point::new(2600.0, 2500.0);
+        let m3 = AdMessage::flood(mk_ad(0), 3, 1000.0);
+        let m2 = AdMessage::flood(mk_ad(0), 2, 1000.0);
+        let m4 = AdMessage::flood(mk_ad(0), 4, 1000.0);
+        let sender = meta(5, Point::new(2550.0, 2500.0));
+        let mut c = ctx(&mut rng, 20.0, inside);
+        assert!(p
+            .on_receive(&mut c, &m3, &sender)
+            .iter()
+            .any(|a| matches!(a, Action::Broadcast(_))));
+        let mut c = ctx(&mut rng, 21.0, inside);
+        assert!(!p
+            .on_receive(&mut c, &m2, &sender)
+            .iter()
+            .any(|a| matches!(a, Action::Broadcast(_))));
+        let mut c = ctx(&mut rng, 22.0, inside);
+        assert!(p
+            .on_receive(&mut c, &m4, &sender)
+            .iter()
+            .any(|a| matches!(a, Action::Broadcast(_))));
+    }
+
+    #[test]
+    fn expired_messages_ignored() {
+        let mut p = RestrictedFlooding::new(params(), UserProfile::indifferent(2));
+        let mut rng = SimRng::from_master(5);
+        let msg = AdMessage::flood(mk_ad(0), 0, 1000.0);
+        let mut c = ctx(&mut rng, 5000.0, Point::new(2500.0, 2500.0));
+        assert!(p
+            .on_receive(&mut c, &msg, &meta(5, Point::new(2550.0, 2500.0)))
+            .is_empty());
+    }
+
+    #[test]
+    fn gossip_traffic_is_ignored() {
+        let mut p = RestrictedFlooding::new(params(), UserProfile::indifferent(2));
+        let mut rng = SimRng::from_master(6);
+        let msg = AdMessage::gossip(mk_ad(0));
+        let mut c = ctx(&mut rng, 20.0, Point::new(2500.0, 2500.0));
+        assert!(p
+            .on_receive(&mut c, &msg, &meta(5, Point::new(2550.0, 2500.0)))
+            .is_empty());
+    }
+
+    #[test]
+    fn interested_receiver_ranks_the_ad() {
+        let mut p = RestrictedFlooding::new(params(), UserProfile::new(7, vec![1]));
+        let mut rng = SimRng::from_master(7);
+        let msg = AdMessage::flood(mk_ad(0), 0, 1000.0);
+        let mut c = ctx(&mut rng, 20.0, Point::new(2600.0, 2500.0));
+        let actions = p.on_receive(&mut c, &msg, &meta(5, Point::new(2550.0, 2500.0)));
+        // The relayed copy must carry the user's sketch bits.
+        let relayed = actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Broadcast(m) => Some(&m.ad),
+                _ => None,
+            })
+            .expect("relay expected");
+        assert_ne!(relayed.sketches, msg.ad.sketches);
+    }
+}

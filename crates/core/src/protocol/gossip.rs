@@ -1,0 +1,585 @@
+//! Opportunistic Gossiping (§III-C) and its optimizations (§III-D).
+//!
+//! One implementation covers the four gossip variants; the two
+//! optimization mechanisms are orthogonal flags:
+//!
+//! * `annular` (mechanism 1): the forwarding probability uses formula (3)
+//!   once the advertisement is past its initial outward-spread warm-up,
+//!   confining high-rate gossip to the rim annulus of width `DIS`.
+//! * `postpone` (mechanism 2): each cache entry carries its own scheduled
+//!   time; overhearing a neighbour broadcast the same ad pushes that
+//!   entry's schedule back by formula (4). Without this flag, all entries
+//!   share the peer's global round timer (Algorithms 1–2); with it, the
+//!   per-entry Algorithms 3–4 apply.
+
+use super::{Action, AdMessage, PeerContext, Protocol, ProtocolKind, RxMeta};
+use crate::ad::Advertisement;
+use crate::cache::{AdCache, CacheEntry};
+use crate::ids::AdId;
+use crate::interest::UserProfile;
+use crate::params::GossipParams;
+use crate::postpone;
+use crate::prob;
+use crate::rank;
+use ia_des::SimTime;
+use ia_geo::Point;
+
+/// The gossip family: pure, optimized-1, optimized-2, or both.
+pub struct Gossip {
+    params: GossipParams,
+    profile: UserProfile,
+    cache: AdCache,
+    /// Mechanism (1): annular probability.
+    annular: bool,
+    /// Mechanism (2): per-entry timers with overhearing postponement.
+    postpone: bool,
+}
+
+impl Gossip {
+    /// Pure Opportunistic Gossiping (Algorithms 1–2).
+    pub fn pure(params: GossipParams, profile: UserProfile) -> Self {
+        Self::with_flags(params, profile, false, false)
+    }
+
+    /// Gossiping + mechanism (1).
+    pub fn optimized_1(params: GossipParams, profile: UserProfile) -> Self {
+        Self::with_flags(params, profile, true, false)
+    }
+
+    /// Gossiping + mechanism (2) (Algorithms 3–4).
+    pub fn optimized_2(params: GossipParams, profile: UserProfile) -> Self {
+        Self::with_flags(params, profile, false, true)
+    }
+
+    /// Optimized Gossiping: both mechanisms.
+    pub fn optimized(params: GossipParams, profile: UserProfile) -> Self {
+        Self::with_flags(params, profile, true, true)
+    }
+
+    fn with_flags(params: GossipParams, profile: UserProfile, annular: bool, postpone: bool) -> Self {
+        params.validate();
+        let cache = AdCache::new(params.cache_capacity);
+        Gossip {
+            params,
+            profile,
+            cache,
+            annular,
+            postpone,
+        }
+    }
+
+    /// Forwarding probability of `ad` for a peer at `pos` at time `now`.
+    ///
+    /// Uses formula (1) against the age-shrunk radius `R_t`; with
+    /// mechanism (1) active and the ad past its outward-spread warm-up,
+    /// formula (3) (with the same shrunk radius) applies instead.
+    fn probability(&self, ad: &Advertisement, now: SimTime, pos: Point) -> f64 {
+        let d = pos.distance(ad.issue_pos);
+        let r_t = ad.radius_at(now, &self.params);
+        if self.annular && ad.age(now) > self.params.opt1_warmup {
+            prob::annular_probability(
+                self.params.alpha,
+                d,
+                r_t,
+                self.params.dis,
+                self.params.prob_unit,
+                self.params.outside_unit,
+                self.params.interior_unit,
+            )
+        } else {
+            prob::forwarding_probability(
+                self.params.alpha,
+                d,
+                r_t,
+                self.params.prob_unit,
+                self.params.outside_unit,
+            )
+        }
+    }
+
+    fn refresh_all(&mut self, now: SimTime, pos: Point) {
+        self.cache.prune_expired(now);
+        // Work around the borrow: compute probabilities per entry.
+        let params_snapshot = (self.annular, now, pos);
+        let _ = params_snapshot;
+        let probs: Vec<(AdId, f64)> = self
+            .cache
+            .iter()
+            .map(|e| (e.ad.id, self.probability(&e.ad, now, pos)))
+            .collect();
+        for (id, p) in probs {
+            if let Some(e) = self.cache.get_mut(id) {
+                e.probability = p;
+            }
+        }
+    }
+
+    /// Store a new advertisement (already interest-processed); returns the
+    /// follow-up actions (accept signal, entry timer for mechanism 2).
+    fn admit(&mut self, ad: Advertisement, now: SimTime, pos: Point) -> Vec<Action> {
+        let mut actions = vec![Action::Accepted { ad: ad.id }];
+        let probability = self.probability(&ad, now, pos);
+        // Algorithm 1: refresh all probabilities before an eviction
+        // decision.
+        self.refresh_all(now, pos);
+        let next_time = now + self.params.round_time;
+        let id = ad.id;
+        let evicted = self.cache.insert(CacheEntry {
+            ad,
+            probability,
+            next_time,
+        });
+        if self.postpone && evicted != Some(id) {
+            actions.push(Action::ScheduleEntry { ad: id, at: next_time });
+        }
+        actions
+    }
+}
+
+impl Protocol for Gossip {
+    fn kind(&self) -> ProtocolKind {
+        match (self.annular, self.postpone) {
+            (false, false) => ProtocolKind::Gossip,
+            (true, false) => ProtocolKind::OptGossip1,
+            (false, true) => ProtocolKind::OptGossip2,
+            (true, true) => ProtocolKind::OptGossip,
+        }
+    }
+
+    fn on_start(&mut self, ctx: &mut PeerContext<'_>) -> Vec<Action> {
+        if self.postpone {
+            // Mechanism (2) peers have no global round; entries carry
+            // their own timers. On a restart (device switched back on
+            // with a warm cache), re-arm every entry's timer — the
+            // wake-ups scheduled before the outage were dropped.
+            self.cache.prune_expired(ctx.now);
+            let now = ctx.now;
+            let round = self.params.round_time;
+            self.cache
+                .iter_mut()
+                .map(|e| {
+                    e.next_time = e.next_time.max(now + round);
+                    Action::ScheduleEntry {
+                        ad: e.ad.id,
+                        at: e.next_time,
+                    }
+                })
+                .collect()
+        } else {
+            // "All peers work asynchronously and the gossiping process is
+            // always active": desynchronise rounds with a random phase.
+            let phase = self.params.round_time.mul_f64(ctx.rng.unit());
+            vec![Action::ScheduleRound(ctx.now + phase)]
+        }
+    }
+
+    fn issue(&mut self, ctx: &mut PeerContext<'_>, mut ad: Advertisement) -> Vec<Action> {
+        // The issuer counts as an interested/served user of its own ad.
+        rank::process_interest(&mut ad, &self.profile, &self.params);
+        let msg = AdMessage::gossip(ad.clone());
+        let mut actions = self.admit(ad, ctx.now, ctx.position);
+        // Issue is accompanied by an immediate broadcast so neighbours
+        // learn of the ad even if the issuer then goes off-line (§III-C).
+        actions.retain(|a| !matches!(a, Action::Accepted { .. })); // issuer did not "receive" it
+        actions.insert(0, Action::Broadcast(msg));
+        actions
+    }
+
+    fn on_receive(
+        &mut self,
+        ctx: &mut PeerContext<'_>,
+        msg: &AdMessage,
+        meta: &RxMeta,
+    ) -> Vec<Action> {
+        if msg.flood.is_some() || msg.ad.expired(ctx.now) {
+            return Vec::new();
+        }
+        if let Some(entry) = self.cache.get_mut(msg.ad.id) {
+            // Duplicate: absorb popularity state; with mechanism (2),
+            // postpone this entry's next gossip (Algorithm 3).
+            entry.ad.absorb(&msg.ad);
+            if self.postpone {
+                let interval = postpone::postponement(
+                    self.params.round_time,
+                    ctx.position,
+                    ctx.velocity,
+                    meta.sender_pos,
+                    self.params.tx_range,
+                );
+                entry.next_time = entry.next_time.max(ctx.now) + interval;
+                let at = entry.next_time;
+                return vec![Action::ScheduleEntry { ad: msg.ad.id, at }];
+            }
+            return Vec::new();
+        }
+        // New advertisement: interest processing (Algorithm 5), then
+        // Algorithm 1 insertion.
+        let mut ad = msg.ad.clone();
+        rank::process_interest(&mut ad, &self.profile, &self.params);
+        self.admit(ad, ctx.now, ctx.position)
+    }
+
+    fn on_round(&mut self, ctx: &mut PeerContext<'_>) -> Vec<Action> {
+        if self.postpone {
+            return Vec::new(); // no global rounds under mechanism (2)
+        }
+        // Algorithm 2: refresh probabilities, broadcast each entry with
+        // its probability, reschedule.
+        self.refresh_all(ctx.now, ctx.position);
+        let mut actions = Vec::new();
+        let mut to_send: Vec<AdMessage> = Vec::new();
+        for e in self.cache.iter() {
+            if ctx.rng.chance(e.probability) {
+                to_send.push(AdMessage::gossip(e.ad.clone()));
+            }
+        }
+        actions.extend(to_send.into_iter().map(Action::Broadcast));
+        actions.push(Action::ScheduleRound(ctx.now + self.params.round_time));
+        actions
+    }
+
+    fn on_entry_timer(&mut self, ctx: &mut PeerContext<'_>, ad: AdId) -> Vec<Action> {
+        if !self.postpone {
+            return Vec::new();
+        }
+        // Algorithm 4, with stale-timer filtering: postponements leave the
+        // earlier wake-up in the queue; it fires, sees the entry's
+        // scheduled time is still in the future, and does nothing.
+        let now = ctx.now;
+        let pos = ctx.position;
+        let Some(entry) = self.cache.get(ad) else {
+            return Vec::new(); // evicted or expired meanwhile
+        };
+        if entry.next_time > now {
+            return Vec::new(); // stale wake-up superseded by a postponement
+        }
+        if entry.ad.expired(now) {
+            self.cache.remove(ad);
+            return Vec::new();
+        }
+        let probability = self.probability(&entry.ad, now, pos);
+        let message = AdMessage::gossip(entry.ad.clone());
+        let entry = self.cache.get_mut(ad).expect("entry vanished");
+        entry.probability = probability;
+        entry.next_time = now + self.params.round_time;
+        let at = entry.next_time;
+        let mut actions = Vec::new();
+        if ctx.rng.chance(probability) {
+            actions.push(Action::Broadcast(message));
+        }
+        actions.push(Action::ScheduleEntry { ad, at });
+        actions
+    }
+
+    fn holds(&self, ad: AdId) -> bool {
+        self.cache.contains(ad)
+    }
+
+    fn cached_ad(&self, ad: AdId) -> Option<&Advertisement> {
+        self.cache.get(ad).map(|e| &e.ad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::PeerId;
+    use ia_des::{SimDuration, SimRng};
+    use ia_geo::Vector;
+
+    fn params() -> GossipParams {
+        GossipParams::paper()
+    }
+
+    fn mk_ad(seq: u32) -> Advertisement {
+        Advertisement::new(
+            AdId::new(PeerId(0), seq),
+            Point::new(2500.0, 2500.0),
+            SimTime::from_secs(10.0),
+            1000.0,
+            SimDuration::from_secs(1800.0),
+            vec![1],
+            100,
+            &params(),
+        )
+    }
+
+    fn ctx<'a>(rng: &'a mut SimRng, now: f64, pos: Point) -> PeerContext<'a> {
+        PeerContext {
+            now: SimTime::from_secs(now),
+            position: pos,
+            velocity: Vector::new(5.0, 0.0),
+            rng,
+        }
+    }
+
+    fn meta_at(pos: Point) -> RxMeta {
+        RxMeta {
+            sender_pos: pos,
+            from: 9,
+            distance: 50.0,
+        }
+    }
+
+    #[test]
+    fn pure_gossip_schedules_desynchronised_round_on_start() {
+        let mut rng = SimRng::from_master(1);
+        let mut g = Gossip::pure(params(), UserProfile::indifferent(1));
+        let mut c = ctx(&mut rng, 0.0, Point::ORIGIN);
+        let a = g.on_start(&mut c);
+        assert_eq!(a.len(), 1);
+        match a[0] {
+            Action::ScheduleRound(t) => {
+                assert!(t >= SimTime::ZERO && t <= SimTime::from_secs(5.0));
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn opt2_has_no_global_round() {
+        let mut rng = SimRng::from_master(1);
+        let mut g = Gossip::optimized_2(params(), UserProfile::indifferent(1));
+        let mut c = ctx(&mut rng, 0.0, Point::ORIGIN);
+        assert!(g.on_start(&mut c).is_empty());
+        let mut c2 = ctx(&mut rng, 5.0, Point::ORIGIN);
+        assert!(g.on_round(&mut c2).is_empty());
+    }
+
+    #[test]
+    fn issue_broadcasts_immediately_and_caches() {
+        let mut rng = SimRng::from_master(2);
+        let mut g = Gossip::pure(params(), UserProfile::indifferent(1));
+        let mut c = ctx(&mut rng, 10.0, Point::new(2500.0, 2500.0));
+        let actions = g.issue(&mut c, mk_ad(0));
+        assert!(matches!(actions[0], Action::Broadcast(_)));
+        assert!(g.holds(AdId::new(PeerId(0), 0)));
+    }
+
+    #[test]
+    fn new_ad_is_accepted_and_cached() {
+        let mut rng = SimRng::from_master(3);
+        let mut g = Gossip::pure(params(), UserProfile::indifferent(1));
+        let msg = AdMessage::gossip(mk_ad(0));
+        let mut c = ctx(&mut rng, 20.0, Point::new(2600.0, 2500.0));
+        let actions = g.on_receive(&mut c, &msg, &meta_at(Point::new(2550.0, 2500.0)));
+        assert!(actions.iter().any(|a| matches!(a, Action::Accepted { .. })));
+        assert!(g.holds(msg.ad.id));
+        // Duplicate in pure mode: silently absorbed.
+        let mut c2 = ctx(&mut rng, 21.0, Point::new(2600.0, 2500.0));
+        assert!(g
+            .on_receive(&mut c2, &msg, &meta_at(Point::new(2550.0, 2500.0)))
+            .is_empty());
+    }
+
+    #[test]
+    fn round_broadcasts_cached_ads_with_high_probability_inside_area() {
+        let mut rng = SimRng::from_master(4);
+        let mut g = Gossip::pure(params(), UserProfile::indifferent(1));
+        let pos = Point::new(2550.0, 2500.0); // 50 m from centre: P ~ 1
+        let msg = AdMessage::gossip(mk_ad(0));
+        let mut c = ctx(&mut rng, 20.0, pos);
+        g.on_receive(&mut c, &msg, &meta_at(Point::new(2500.0, 2500.0)));
+        let mut broadcasts = 0;
+        for k in 0..20 {
+            let mut cr = ctx(&mut rng, 25.0 + k as f64 * 5.0, pos);
+            let actions = g.on_round(&mut cr);
+            assert!(matches!(actions.last(), Some(Action::ScheduleRound(_))));
+            broadcasts += actions
+                .iter()
+                .filter(|a| matches!(a, Action::Broadcast(_)))
+                .count();
+        }
+        assert!(broadcasts >= 18, "P~1 inside the area, got {broadcasts}/20");
+    }
+
+    #[test]
+    fn round_rarely_broadcasts_far_outside_area() {
+        let mut rng = SimRng::from_master(5);
+        let mut g = Gossip::pure(params(), UserProfile::indifferent(1));
+        let pos = Point::new(4500.0, 2500.0); // 2000 m out: P ~ 0.5*0.5^10
+        let msg = AdMessage::gossip(mk_ad(0));
+        let mut c = ctx(&mut rng, 20.0, pos);
+        g.on_receive(&mut c, &msg, &meta_at(Point::new(4400.0, 2500.0)));
+        let mut broadcasts = 0;
+        for k in 0..50 {
+            let mut cr = ctx(&mut rng, 25.0 + k as f64 * 5.0, pos);
+            broadcasts += g
+                .on_round(&mut cr)
+                .iter()
+                .filter(|a| matches!(a, Action::Broadcast(_)))
+                .count();
+        }
+        assert!(broadcasts <= 2, "P~0 outside, got {broadcasts}/50");
+    }
+
+    #[test]
+    fn opt1_suppresses_interior_after_warmup() {
+        let mut rng = SimRng::from_master(6);
+        let mut g = Gossip::optimized_1(params(), UserProfile::indifferent(1));
+        let centre = Point::new(2500.0, 2500.0);
+        let msg = AdMessage::gossip(mk_ad(0));
+        let mut c = ctx(&mut rng, 20.0, centre);
+        g.on_receive(&mut c, &msg, &meta_at(centre));
+        // During warm-up (age <= 40 s) the interior still gossips.
+        let p_young = g.probability(&msg.ad, SimTime::from_secs(30.0), centre);
+        assert!(p_young > 0.9, "warm-up probability {p_young}");
+        // After warm-up the interior is suppressed...
+        let p_old = g.probability(&msg.ad, SimTime::from_secs(100.0), centre);
+        assert!(p_old < 0.02, "interior probability {p_old}");
+        // ...but the annulus is not.
+        let rim = Point::new(2500.0 + 900.0, 2500.0);
+        let p_rim = g.probability(&msg.ad, SimTime::from_secs(100.0), rim);
+        assert!(p_rim > 0.7, "annulus probability {p_rim}");
+    }
+
+    #[test]
+    fn opt2_insert_schedules_entry_timer() {
+        let mut rng = SimRng::from_master(7);
+        let mut g = Gossip::optimized_2(params(), UserProfile::indifferent(1));
+        let msg = AdMessage::gossip(mk_ad(0));
+        let mut c = ctx(&mut rng, 20.0, Point::new(2600.0, 2500.0));
+        let actions = g.on_receive(&mut c, &msg, &meta_at(Point::new(2550.0, 2500.0)));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::ScheduleEntry { at, .. } if *at == SimTime::from_secs(25.0))));
+    }
+
+    #[test]
+    fn opt2_duplicate_postpones_entry() {
+        let mut rng = SimRng::from_master(8);
+        let mut g = Gossip::optimized_2(params(), UserProfile::indifferent(1));
+        let msg = AdMessage::gossip(mk_ad(0));
+        let pos = Point::new(2600.0, 2500.0);
+        let mut c = ctx(&mut rng, 20.0, pos);
+        g.on_receive(&mut c, &msg, &meta_at(Point::new(2550.0, 2500.0)));
+        let before = g.cache.get(msg.ad.id).unwrap().next_time;
+        // Overhear a very close neighbour broadcasting the same ad.
+        let mut c2 = ctx(&mut rng, 21.0, pos);
+        let actions = g.on_receive(&mut c2, &msg, &meta_at(Point::new(2601.0, 2500.0)));
+        let after = g.cache.get(msg.ad.id).unwrap().next_time;
+        assert!(after > before, "postponement must push the schedule back");
+        // Pushed back by at least one round time (formula 4 lower bound).
+        assert!(after.since(before) >= params().round_time);
+        assert!(matches!(actions[0], Action::ScheduleEntry { .. }));
+    }
+
+    #[test]
+    fn opt2_closer_sender_postpones_more() {
+        let pos = Point::new(2600.0, 2500.0);
+        let run = |sender: Point| -> SimTime {
+            let mut rng = SimRng::from_master(9);
+            let mut g = Gossip::optimized_2(params(), UserProfile::indifferent(1));
+            let msg = AdMessage::gossip(mk_ad(0));
+            let mut c = ctx(&mut rng, 20.0, pos);
+            g.on_receive(&mut c, &msg, &meta_at(Point::new(2550.0, 2500.0)));
+            let mut c2 = ctx(&mut rng, 21.0, pos);
+            g.on_receive(&mut c2, &msg, &meta_at(sender));
+            g.cache.get(msg.ad.id).unwrap().next_time
+        };
+        let near = run(Point::new(2605.0, 2500.0));
+        let far = run(Point::new(2840.0, 2500.0));
+        assert!(near > far);
+    }
+
+    #[test]
+    fn opt2_stale_timer_is_ignored_fresh_timer_fires() {
+        let mut rng = SimRng::from_master(10);
+        let mut g = Gossip::optimized_2(params(), UserProfile::indifferent(1));
+        let msg = AdMessage::gossip(mk_ad(0));
+        let pos = Point::new(2600.0, 2500.0);
+        let mut c = ctx(&mut rng, 20.0, pos);
+        g.on_receive(&mut c, &msg, &meta_at(Point::new(2550.0, 2500.0)));
+        // Postpone: next_time moves past 25 s.
+        let mut c2 = ctx(&mut rng, 21.0, pos);
+        g.on_receive(&mut c2, &msg, &meta_at(Point::new(2601.0, 2500.0)));
+        let scheduled = g.cache.get(msg.ad.id).unwrap().next_time;
+        // The original 25 s wake-up is now stale.
+        let mut c3 = ctx(&mut rng, 25.0, pos);
+        assert!(g.on_entry_timer(&mut c3, msg.ad.id).is_empty());
+        // The postponed wake-up fires and reschedules.
+        let mut rng2 = SimRng::from_master(11);
+        let mut c4 = PeerContext {
+            now: scheduled,
+            position: pos,
+            velocity: Vector::ZERO,
+            rng: &mut rng2,
+        };
+        let actions = g.on_entry_timer(&mut c4, msg.ad.id);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::ScheduleEntry { .. })));
+    }
+
+    #[test]
+    fn opt2_expired_entry_is_dropped_on_timer() {
+        let mut rng = SimRng::from_master(12);
+        let mut g = Gossip::optimized_2(params(), UserProfile::indifferent(1));
+        let msg = AdMessage::gossip(mk_ad(0));
+        let pos = Point::new(2600.0, 2500.0);
+        let mut c = ctx(&mut rng, 20.0, pos);
+        g.on_receive(&mut c, &msg, &meta_at(Point::new(2550.0, 2500.0)));
+        // Force the entry's schedule into the deep future then fire after
+        // expiry.
+        g.cache.get_mut(msg.ad.id).unwrap().next_time = SimTime::from_secs(3000.0);
+        let mut c2 = ctx(&mut rng, 3000.0, pos);
+        assert!(g.on_entry_timer(&mut c2, msg.ad.id).is_empty());
+        assert!(!g.holds(msg.ad.id));
+    }
+
+    #[test]
+    fn cache_eviction_respects_capacity() {
+        let mut rng = SimRng::from_master(13);
+        let p = params().with_cache_capacity(3);
+        let mut g = Gossip::pure(p, UserProfile::indifferent(1));
+        let pos = Point::new(2500.0, 2500.0);
+        for seq in 0..5 {
+            let msg = AdMessage::gossip(mk_ad(seq));
+            let mut c = ctx(&mut rng, 20.0 + seq as f64, pos);
+            g.on_receive(&mut c, &msg, &meta_at(pos));
+        }
+        assert_eq!(g.cache.len(), 3);
+    }
+
+    #[test]
+    fn expired_gossip_is_ignored() {
+        let mut rng = SimRng::from_master(14);
+        let mut g = Gossip::pure(params(), UserProfile::indifferent(1));
+        let msg = AdMessage::gossip(mk_ad(0));
+        let mut c = ctx(&mut rng, 5000.0, Point::new(2500.0, 2500.0));
+        assert!(g
+            .on_receive(&mut c, &msg, &meta_at(Point::new(2550.0, 2500.0)))
+            .is_empty());
+        assert!(!g.holds(msg.ad.id));
+    }
+
+    #[test]
+    fn interested_receiver_enlarges_popular_ad() {
+        let mut rng = SimRng::from_master(15);
+        let mut g = Gossip::pure(params(), UserProfile::new(7, vec![1]));
+        let msg = AdMessage::gossip(mk_ad(0));
+        let mut c = ctx(&mut rng, 20.0, Point::new(2600.0, 2500.0));
+        g.on_receive(&mut c, &msg, &meta_at(Point::new(2550.0, 2500.0)));
+        let cached = &g.cache.get(msg.ad.id).unwrap().ad;
+        assert!(cached.sketches.rank() >= msg.ad.sketches.rank());
+        assert_ne!(cached.sketches, msg.ad.sketches);
+    }
+
+    #[test]
+    fn kind_reflects_flags() {
+        let u = || UserProfile::indifferent(0);
+        assert_eq!(Gossip::pure(params(), u()).kind(), ProtocolKind::Gossip);
+        assert_eq!(
+            Gossip::optimized_1(params(), u()).kind(),
+            ProtocolKind::OptGossip1
+        );
+        assert_eq!(
+            Gossip::optimized_2(params(), u()).kind(),
+            ProtocolKind::OptGossip2
+        );
+        assert_eq!(
+            Gossip::optimized(params(), u()).kind(),
+            ProtocolKind::OptGossip
+        );
+    }
+}

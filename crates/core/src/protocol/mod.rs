@@ -1,0 +1,230 @@
+//! The protocol state machines.
+//!
+//! Protocols are pure state machines: the simulation world calls
+//! [`Protocol::on_receive`], [`Protocol::on_round`], and
+//! [`Protocol::on_entry_timer`] with a [`PeerContext`] snapshot of the
+//! peer's kinematic state, and the protocol answers with [`Action`]s
+//! (broadcasts to transmit, wake-ups to schedule). This keeps `ia-core`
+//! free of any dependency on the event engine, radio, or mobility — the
+//! same implementations could drive real hardware.
+
+pub mod flooding;
+pub mod gossip;
+
+use crate::ad::Advertisement;
+use crate::ids::AdId;
+use crate::interest::UserProfile;
+use crate::params::GossipParams;
+use ia_des::{SimRng, SimTime};
+use ia_geo::{Point, Vector};
+
+pub use flooding::RestrictedFlooding;
+pub use gossip::Gossip;
+
+/// Which of the paper's five protocols to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// Restricted Flooding (§III-B, baseline).
+    Flooding,
+    /// Pure Opportunistic Gossiping (§III-C).
+    Gossip,
+    /// Gossiping + optimization mechanism (1): annular probability.
+    OptGossip1,
+    /// Gossiping + optimization mechanism (2): overhearing postponement.
+    OptGossip2,
+    /// Gossiping + both mechanisms ("Optimized Gossiping").
+    OptGossip,
+}
+
+impl ProtocolKind {
+    /// All five, in the order the paper's figures list them.
+    pub const ALL: [ProtocolKind; 5] = [
+        ProtocolKind::Flooding,
+        ProtocolKind::Gossip,
+        ProtocolKind::OptGossip2,
+        ProtocolKind::OptGossip1,
+        ProtocolKind::OptGossip,
+    ];
+
+    /// Label used in experiment output (matches the paper's legends).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProtocolKind::Flooding => "Flooding",
+            ProtocolKind::Gossip => "Gossiping",
+            ProtocolKind::OptGossip1 => "Optimized Gossiping-1",
+            ProtocolKind::OptGossip2 => "Optimized Gossiping-2",
+            ProtocolKind::OptGossip => "Optimized Gossiping",
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The kinematic state a protocol sees when handling an event, plus its
+/// RNG stream.
+pub struct PeerContext<'a> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// The peer's own (GPS) position.
+    pub position: Point,
+    /// The peer's velocity, as derived from consecutive position fixes
+    /// (the paper's §III-D derivation).
+    pub velocity: Vector,
+    /// This peer's protocol RNG stream.
+    pub rng: &'a mut SimRng,
+}
+
+/// Per-delivery metadata from the radio (who sent, from where).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RxMeta {
+    /// Sender's position at transmission time.
+    pub sender_pos: Point,
+    /// Sender node id.
+    pub from: u32,
+    /// Sender–receiver distance at transmission time, metres.
+    pub distance: f64,
+}
+
+/// Flooding wave metadata carried on flooded messages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FloodInfo {
+    /// Wave sequence number (one per issuer broadcast cycle).
+    pub wave: u32,
+    /// The advertising radius the issuer stamped on this wave — relays
+    /// forward the wave only while inside this radius.
+    pub radius: f64,
+}
+
+/// A protocol message: the advertisement plus transport metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdMessage {
+    pub ad: Advertisement,
+    /// `Some` for Restricted Flooding traffic, `None` for gossip.
+    pub flood: Option<FloodInfo>,
+}
+
+impl AdMessage {
+    pub fn gossip(ad: Advertisement) -> Self {
+        AdMessage { ad, flood: None }
+    }
+
+    pub fn flood(ad: Advertisement, wave: u32, radius: f64) -> Self {
+        AdMessage {
+            ad,
+            flood: Some(FloodInfo { wave, radius }),
+        }
+    }
+
+    /// Wire size for traffic accounting — the exact encoded length
+    /// (see [`crate::codec`]).
+    pub fn bytes(&self) -> usize {
+        crate::codec::message_encoded_len(self)
+    }
+}
+
+/// What a protocol asks the world to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Transmit a message on the broadcast channel now.
+    Broadcast(AdMessage),
+    /// Wake this peer's round handler at the given absolute time.
+    ScheduleRound(SimTime),
+    /// Wake this peer's per-entry handler for `ad` at the given time
+    /// (Optimized Gossiping-2's independent time handlers).
+    ScheduleEntry { ad: AdId, at: SimTime },
+    /// The peer accepted (first stored/displayed) this advertisement —
+    /// the delivery-metric hook.
+    Accepted { ad: AdId },
+}
+
+/// A protocol instance: one per peer.
+pub trait Protocol {
+    /// Which protocol this is.
+    fn kind(&self) -> ProtocolKind;
+
+    /// Called once when the peer comes online.
+    fn on_start(&mut self, ctx: &mut PeerContext<'_>) -> Vec<Action>;
+
+    /// Called for each frame the radio delivers to this peer.
+    fn on_receive(&mut self, ctx: &mut PeerContext<'_>, msg: &AdMessage, meta: &RxMeta)
+        -> Vec<Action>;
+
+    /// Called when a scheduled round wake-up fires.
+    fn on_round(&mut self, ctx: &mut PeerContext<'_>) -> Vec<Action>;
+
+    /// Called when a scheduled per-entry wake-up fires.
+    fn on_entry_timer(&mut self, ctx: &mut PeerContext<'_>, ad: AdId) -> Vec<Action>;
+
+    /// Issue a new advertisement from this peer.
+    fn issue(&mut self, ctx: &mut PeerContext<'_>, ad: Advertisement) -> Vec<Action>;
+
+    /// Does this peer currently hold `ad` (cache or issuer state)?
+    fn holds(&self, ad: AdId) -> bool;
+
+    /// The peer's current copy of `ad`, if it stores one (gossip cache,
+    /// flooding issuer state). Used by experiments to inspect popularity
+    /// state; pure flooding relays store no copy and return `None`.
+    fn cached_ad(&self, ad: AdId) -> Option<&Advertisement> {
+        let _ = ad;
+        None
+    }
+}
+
+/// Construct the protocol instance for one peer.
+pub fn build_protocol(
+    kind: ProtocolKind,
+    params: GossipParams,
+    profile: UserProfile,
+) -> Box<dyn Protocol> {
+    params.validate();
+    match kind {
+        ProtocolKind::Flooding => Box::new(RestrictedFlooding::new(params, profile)),
+        ProtocolKind::Gossip => Box::new(Gossip::pure(params, profile)),
+        ProtocolKind::OptGossip1 => Box::new(Gossip::optimized_1(params, profile)),
+        ProtocolKind::OptGossip2 => Box::new(Gossip::optimized_2(params, profile)),
+        ProtocolKind::OptGossip => Box::new(Gossip::optimized(params, profile)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<&str> =
+            ProtocolKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), 5);
+        assert_eq!(ProtocolKind::Flooding.to_string(), "Flooding");
+    }
+
+    #[test]
+    fn build_constructs_every_kind() {
+        for kind in ProtocolKind::ALL {
+            let p = build_protocol(kind, GossipParams::paper(), UserProfile::indifferent(1));
+            assert_eq!(p.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn message_bytes_include_flood_overhead() {
+        use crate::ids::PeerId;
+        let ad = Advertisement::new(
+            AdId::new(PeerId(0), 0),
+            Point::ORIGIN,
+            SimTime::ZERO,
+            100.0,
+            ia_des::SimDuration::from_secs(60.0),
+            vec![],
+            0,
+            &GossipParams::paper(),
+        );
+        let g = AdMessage::gossip(ad.clone());
+        let f = AdMessage::flood(ad, 0, 100.0);
+        assert_eq!(f.bytes(), g.bytes() + 12);
+    }
+}

@@ -1,0 +1,27 @@
+//! Event identities.
+
+/// A handle to a scheduled event, usable to cancel it before it fires.
+///
+/// Ids are unique within one [`crate::EventQueue`] (they are the queue's
+/// monotonically increasing sequence numbers, which double as the FIFO
+/// tie-breaker for simultaneous events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub(crate) u64);
+
+impl EventId {
+    /// The raw sequence number, exposed for logging/diagnostics.
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_by_sequence() {
+        assert!(EventId(1) < EventId(2));
+        assert_eq!(EventId(7).raw(), 7);
+    }
+}

@@ -1,0 +1,279 @@
+//! The pending-event set: a stable, cancellable priority queue.
+//!
+//! Built on `BinaryHeap` with a `(time, seq)` key so that events with
+//! equal timestamps pop in insertion order (NS-2 calendar queues make the
+//! same guarantee, and several protocol behaviours — e.g. "receive before
+//! your own round timer at the same instant" — depend on a stable order).
+//!
+//! Cancellation uses tombstones: `cancel` moves the id from the `live` set
+//! to the `cancelled` set, and `pop` skips tombstoned entries lazily. Both
+//! operations stay `O(log n)` amortised without an indexed heap.
+
+use crate::event::EventId;
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+struct Entry<E> {
+    key: Reverse<(SimTime, u64)>,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// A time-ordered, FIFO-stable, cancellable event queue.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Ids pushed but not yet popped or cancelled.
+    live: HashSet<u64>,
+    /// Ids cancelled but whose heap entry has not been skipped yet.
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            live: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Number of live (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Enqueue `event` at time `t` and return a cancellable handle.
+    pub fn push(&mut self, t: SimTime, event: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live.insert(seq);
+        self.heap.push(Entry {
+            key: Reverse((t, seq)),
+            event,
+        });
+        EventId(seq)
+    }
+
+    /// Cancel a pending event. Returns `false` if the event already fired
+    /// or was already cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if self.live.remove(&id.0) {
+            self.cancelled.insert(id.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pop the earliest live event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            let Reverse((t, seq)) = entry.key;
+            if self.cancelled.remove(&seq) {
+                continue;
+            }
+            self.live.remove(&seq);
+            return Some((t, entry.event));
+        }
+        None
+    }
+
+    /// Timestamp of the earliest live event, or `None` when empty.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        // `BinaryHeap` cannot skip-peek, so scan for the minimum among
+        // live entries. This is O(n) in the presence of cancellations but
+        // is only used for diagnostics, never in the hot pop loop.
+        self.heap
+            .iter()
+            .filter(|e| self.live.contains(&e.key.0 .1))
+            .map(|e| e.key.0 .0)
+            .min()
+    }
+
+    /// Drop every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.cancelled.clear();
+        self.live.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_then_fifo_order() {
+        let mut q = EventQueue::new();
+        q.push(t(2.0), "b1");
+        q.push(t(1.0), "a");
+        q.push(t(2.0), "b2");
+        assert_eq!(q.pop(), Some((t(1.0), "a")));
+        assert_eq!(q.pop(), Some((t(2.0), "b1")));
+        assert_eq!(q.pop(), Some((t(2.0), "b2")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn len_tracks_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1.0), 1);
+        q.push(t(2.0), 2);
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        assert_eq!(q.pop(), Some((t(2.0), 2)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_unknown_or_fired_returns_false() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1.0), 1);
+        assert!(!q.cancel(EventId(99)));
+        q.pop();
+        assert!(!q.cancel(a), "cancelling a fired event must be a no-op");
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn double_cancel_reports_false() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1.0), 1);
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1.0), 1);
+        q.push(t(2.0), 2);
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(2.0)));
+    }
+
+    #[test]
+    fn peek_time_empty_is_none() {
+        let q: EventQueue<u8> = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut q = EventQueue::new();
+        q.push(t(1.0), 1);
+        let b = q.push(t(2.0), 2);
+        q.cancel(b);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn many_events_maintain_heap_invariant() {
+        // Insert pseudo-random times; pops must come out sorted.
+        let mut q = EventQueue::new();
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        for i in 0..1000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            q.push(SimTime::from_micros(x % 1_000_000), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut n = 0;
+        while let Some((ti, _)) = q.pop() {
+            assert!(ti >= last);
+            last = ti;
+            n += 1;
+        }
+        assert_eq!(n, 1000);
+    }
+
+    #[test]
+    fn cancel_interleaved_with_pops() {
+        let mut q = EventQueue::new();
+        let ids: Vec<EventId> = (0..10).map(|i| q.push(t(i as f64), i)).collect();
+        // Cancel the odd ones.
+        for (i, id) in ids.iter().enumerate() {
+            if i % 2 == 1 {
+                assert!(q.cancel(*id));
+            }
+        }
+        let got: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(got, vec![0, 2, 4, 6, 8]);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Regardless of the push order and cancellation pattern, pops are
+        /// time-ordered and exactly the non-cancelled events come out.
+        #[test]
+        fn pop_order_and_membership(
+            times in proptest::collection::vec(0u64..1_000, 1..100),
+            cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+        ) {
+            let mut q = EventQueue::new();
+            let ids: Vec<(EventId, u64, usize)> = times
+                .iter()
+                .enumerate()
+                .map(|(i, &tt)| (q.push(SimTime::from_micros(tt), i), tt, i))
+                .collect();
+            let mut expect: Vec<(u64, usize)> = Vec::new();
+            for (k, (id, tt, i)) in ids.iter().enumerate() {
+                if *cancel_mask.get(k).unwrap_or(&false) {
+                    prop_assert!(q.cancel(*id));
+                } else {
+                    expect.push((*tt, *i));
+                }
+            }
+            expect.sort_unstable();
+            let mut got = Vec::new();
+            while let Some((tt, i)) = q.pop() {
+                got.push((tt.as_micros(), i));
+            }
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

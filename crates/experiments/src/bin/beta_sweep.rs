@@ -1,0 +1,13 @@
+//! Regenerates the section IV-C beta sensitivity check.
+//!
+//! Usage: `cargo run --release -p ia-experiments --bin beta_sweep [--quick] [--seeds N] [--csv DIR]`
+
+use ia_experiments::figures::{beta_sweep, emit, Options};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, rest) = Options::from_args(&args);
+    assert!(rest.is_empty(), "unknown arguments: {rest:?}");
+    let tables = beta_sweep::run(&opts);
+    emit(&opts, &tables);
+}

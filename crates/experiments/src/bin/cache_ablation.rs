@@ -1,0 +1,13 @@
+//! Runs the cache-capacity ablation under many concurrent ads.
+//!
+//! Usage: `cargo run --release -p ia-experiments --bin cache_ablation [--quick] [--seeds N] [--csv DIR]`
+
+use ia_experiments::figures::{cache_ablation, emit, Options};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, rest) = Options::from_args(&args);
+    assert!(rest.is_empty(), "unknown arguments: {rest:?}");
+    let tables = cache_ablation::run(&opts);
+    emit(&opts, &tables);
+}

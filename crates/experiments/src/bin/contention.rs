@@ -1,0 +1,13 @@
+//! Runs the broadcast-storm contention experiment.
+//!
+//! Usage: `cargo run --release -p ia-experiments --bin contention [--quick] [--seeds N] [--csv DIR]`
+
+use ia_experiments::figures::{contention, emit, Options};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, rest) = Options::from_args(&args);
+    assert!(rest.is_empty(), "unknown arguments: {rest:?}");
+    let tables = contention::run(&opts);
+    emit(&opts, &tables);
+}

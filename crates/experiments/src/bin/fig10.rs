@@ -1,0 +1,14 @@
+//! Regenerates Figure 10: tuning alpha, round time, and DIS.
+//!
+//! Usage: `cargo run --release -p ia-experiments --bin fig10 [--quick] [--seeds N] [--csv DIR] [alpha] [round] [dis]`
+//!
+//! With no selector all three sweeps run.
+
+use ia_experiments::figures::{emit, fig10, Options};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, rest) = Options::from_args(&args);
+    let tables = fig10::run(&opts, &rest);
+    emit(&opts, &tables);
+}

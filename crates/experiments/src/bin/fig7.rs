@@ -1,0 +1,13 @@
+//! Regenerates Figure 7: performance in different network sizes.
+//!
+//! Usage: `cargo run --release -p ia-experiments --bin fig7 [--quick] [--seeds N] [--csv DIR]`
+
+use ia_experiments::figures::{emit, fig7, Options};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, rest) = Options::from_args(&args);
+    assert!(rest.is_empty(), "unknown arguments: {rest:?}");
+    let tables = fig7::run(&opts);
+    emit(&opts, &tables);
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 8: performance at different motion speeds.
+//!
+//! Usage: `cargo run --release -p ia-experiments --bin fig8 [--quick] [--seeds N] [--csv DIR]`
+
+use ia_experiments::figures::{emit, fig8, Options};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, rest) = Options::from_args(&args);
+    assert!(rest.is_empty(), "unknown arguments: {rest:?}");
+    let tables = fig8::run(&opts);
+    emit(&opts, &tables);
+}

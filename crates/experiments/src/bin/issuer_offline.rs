@@ -1,0 +1,13 @@
+//! Runs the section III-C issuer-off-line ablation.
+//!
+//! Usage: `cargo run --release -p ia-experiments --bin issuer_offline [--quick] [--seeds N] [--csv DIR]`
+
+use ia_experiments::figures::{emit, issuer_offline, Options};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, rest) = Options::from_args(&args);
+    assert!(rest.is_empty(), "unknown arguments: {rest:?}");
+    let tables = issuer_offline::run(&opts);
+    emit(&opts, &tables);
+}

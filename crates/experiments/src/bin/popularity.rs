@@ -1,0 +1,13 @@
+//! Regenerates the section III-E popularity/FM-sketch study.
+//!
+//! Usage: `cargo run --release -p ia-experiments --bin popularity [--quick] [--csv DIR]`
+
+use ia_experiments::figures::{emit, popularity, Options};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, rest) = Options::from_args(&args);
+    assert!(rest.is_empty(), "unknown arguments: {rest:?}");
+    let tables = popularity::run(&opts);
+    emit(&opts, &tables);
+}

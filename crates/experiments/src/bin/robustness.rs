@@ -1,0 +1,13 @@
+//! Runs the robustness extensions (Manhattan mobility, lossy channels).
+//!
+//! Usage: `cargo run --release -p ia-experiments --bin robustness [--quick] [--seeds N] [--csv DIR]`
+
+use ia_experiments::figures::{emit, robustness, Options};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, rest) = Options::from_args(&args);
+    assert!(rest.is_empty(), "unknown arguments: {rest:?}");
+    let tables = robustness::run(&opts);
+    emit(&opts, &tables);
+}

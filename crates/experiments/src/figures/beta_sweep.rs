@@ -1,0 +1,62 @@
+//! §IV-C beta sensitivity: "beta has negligible impact on our performance
+//! metrics (the Number of Messages, Delivery Rate and Delivery Time drop
+//! by [small amounts] when beta increases from 0.1 to 0.9)".
+
+use super::{sweep_point, Options};
+use crate::report::{fmt0, fmt2, Table};
+use crate::scenario::Scenario;
+use ia_core::ProtocolKind;
+
+/// Network size (Table III).
+pub const N_PEERS: usize = 300;
+
+/// Run the beta sweep on Optimized Gossiping.
+pub fn run(opts: &Options) -> Vec<Table> {
+    let betas: Vec<f64> = if opts.quick {
+        vec![0.1, 0.5, 0.9]
+    } else {
+        (1..=9).map(|k| k as f64 / 10.0).collect()
+    };
+    let mut t = Table::new(
+        "Beta sweep (section IV-C): negligible impact",
+        &["beta", "delivery_rate_pct", "delivery_time_s", "messages"],
+    );
+    for beta in betas {
+        let mut s = Scenario::paper(ProtocolKind::OptGossip, N_PEERS);
+        s.params = s.params.with_beta(beta);
+        let sum = sweep_point(opts, s);
+        t.row(vec![
+            format!("{beta:.1}"),
+            fmt2(sum.delivery_rate_mean),
+            fmt2(sum.delivery_time_mean),
+            fmt0(sum.messages_mean),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's claim: beta barely matters. Check the quick sweep's
+    /// spread stays small relative to the mean.
+    #[test]
+    fn beta_impact_is_negligible() {
+        let t = &run(&Options::quick())[0];
+        let rates = t.column_f64(1);
+        let lo = rates.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = rates.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            hi - lo < 15.0,
+            "delivery rate varies too much with beta: {rates:?}"
+        );
+        let msgs = t.column_f64(3);
+        let mlo = msgs.iter().cloned().fold(f64::MAX, f64::min);
+        let mhi = msgs.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            (mhi - mlo) / mhi < 0.5,
+            "messages vary too much with beta: {msgs:?}"
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Cache-capacity ablation (extension).
+//!
+//! The paper stores received ads "sorted by forwarding probability …
+//! if the number of received advertisements exceeds a threshold, those
+//! with low probabilities will be discarded" (§III-A) and suggests
+//! k = 10, but never evaluates cache pressure. This ablation issues many
+//! concurrent advertisements with overlapping areas and sweeps `k`:
+//! small caches evict ads whose areas the peer is far from (low
+//! probability), which is exactly the intended degradation mode — nearby
+//! ads keep being served while distant ones are dropped.
+
+use super::{sweep_point, Options};
+use crate::report::{fmt0, fmt2, Table};
+use crate::scenario::{AdSpec, Scenario};
+use ia_core::ProtocolKind;
+use ia_des::{SimDuration, SimTime};
+
+/// Network size for the ablation.
+pub const N_PEERS: usize = 300;
+
+/// Build a scenario with `n_ads` concurrent advertisements on a jittered
+/// grid across the field.
+pub fn crowded_scenario(n_ads: usize) -> Scenario {
+    let mut s = Scenario::paper(ProtocolKind::OptGossip, N_PEERS);
+    let cols = (n_ads as f64).sqrt().ceil() as usize;
+    s.ads = (0..n_ads)
+        .map(|i| {
+            let (cx, cy) = (i % cols, i / cols);
+            // Spread issue positions over the central 60% of the field so
+            // the 1000 m areas overlap heavily.
+            let fx = 0.2 + 0.6 * (cx as f64 + 0.5) / cols as f64;
+            let fy = 0.2 + 0.6 * (cy as f64 + 0.5) / cols as f64;
+            AdSpec {
+                issue_pos: s.area.at_fraction(fx, fy),
+                issue_time: SimTime::from_secs(10.0 + i as f64),
+                radius: 1000.0,
+                duration: SimDuration::from_secs(1800.0),
+                topics: vec![i as u32 + 1],
+                payload_bytes: 200,
+            }
+        })
+        .collect();
+    let end = s.ads.iter().map(|a| a.window_end()).max().unwrap();
+    s.sim_time = end - SimTime::ZERO;
+    s
+}
+
+/// Sweep the cache capacity `k` under many concurrent ads.
+pub fn run(opts: &Options) -> Vec<Table> {
+    let (n_ads, ks): (usize, Vec<usize>) = if opts.quick {
+        (6, vec![1, 5, 10])
+    } else {
+        (12, vec![1, 2, 3, 5, 10, 20])
+    };
+    let mut t = Table::new(
+        format!("Cache-capacity ablation ({n_ads} concurrent ads, 300 peers)"),
+        &["k", "delivery_rate_pct", "delivery_time_s", "messages"],
+    );
+    for k in ks {
+        let mut s = crowded_scenario(n_ads);
+        s.params = s.params.with_cache_capacity(k);
+        let sum = sweep_point(opts, s);
+        t.row(vec![
+            k.to_string(),
+            fmt2(sum.delivery_rate_mean),
+            fmt2(sum.delivery_time_mean),
+            fmt0(sum.messages_mean),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crowded_scenario_shape() {
+        let s = crowded_scenario(12);
+        s.validate();
+        assert_eq!(s.ads.len(), 12);
+        assert_eq!(s.n_nodes(), N_PEERS + 12);
+        // All issue positions distinct and inside the field.
+        for (i, a) in s.ads.iter().enumerate() {
+            assert!(s.area.contains(a.issue_pos));
+            for b in &s.ads[..i] {
+                assert_ne!(a.issue_pos, b.issue_pos);
+            }
+        }
+    }
+
+    /// The cache must matter: a 1-entry cache under 6 concurrent ads
+    /// cannot beat a 10-entry cache.
+    #[test]
+    fn tiny_cache_hurts_delivery() {
+        let t = &run(&Options::quick())[0];
+        let k1 = t.cell_f64(0, 1);
+        let k10 = t.cell_f64(2, 1);
+        assert!(
+            k1 <= k10 + 1.0,
+            "k=1 ({k1}) should not beat k=10 ({k10}) under cache pressure"
+        );
+        // All configurations still deliver something meaningful.
+        for row in 0..t.n_rows() {
+            assert!(t.cell_f64(row, 1) > 30.0);
+        }
+    }
+}

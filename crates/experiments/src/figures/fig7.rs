@@ -1,0 +1,107 @@
+//! Figure 7: performance in different network sizes.
+//!
+//! Sweeps the number of mobile peers from 100 to 1000 (density 4–40 per
+//! km²) for all five protocols and reports the paper's three metrics:
+//!
+//! * 7(a) Delivery Rate (%) — Flooding degrades sharply below ~300
+//!   peers, pure Gossiping stays above ~90 %, Optimized Gossiping
+//!   degrades in sparse networks because of mechanism (1).
+//! * 7(b) Delivery Time (s) — pure Gossiping wins in sparse networks;
+//!   all methods converge under ~10 s once the network is dense.
+//! * 7(c) Number of Messages — Optimized Gossiping cuts traffic by
+//!   roughly an order of magnitude versus Flooding and pure Gossiping
+//!   (the paper reports 8.85 % / 9.89 % at 1000 peers).
+
+use super::{sweep_point, Options};
+use crate::report::{fmt0, fmt2, Table};
+use crate::scenario::Scenario;
+use ia_core::ProtocolKind;
+
+/// Network sizes swept (paper: 100..=1000 step 100; quick: 3 sizes).
+pub fn sizes(opts: &Options) -> Vec<usize> {
+    if opts.quick {
+        vec![100, 300, 600]
+    } else {
+        (1..=10).map(|k| k * 100).collect()
+    }
+}
+
+/// Run the sweep; returns tables 7(a), 7(b), 7(c).
+pub fn run(opts: &Options) -> Vec<Table> {
+    let protocols = ProtocolKind::ALL;
+    let mut headers: Vec<&str> = vec!["peers"];
+    headers.extend(protocols.iter().map(|p| p.label()));
+
+    let mut rate = Table::new("Fig 7(a): Delivery Rate (%) vs network size", &headers);
+    let mut time = Table::new("Fig 7(b): Delivery Time (s) vs network size", &headers);
+    let mut msgs = Table::new("Fig 7(c): Number of Messages vs network size", &headers);
+
+    for n in sizes(opts) {
+        let mut rate_row = vec![n.to_string()];
+        let mut time_row = vec![n.to_string()];
+        let mut msgs_row = vec![n.to_string()];
+        for kind in protocols {
+            let s = sweep_point(opts, Scenario::paper(kind, n));
+            rate_row.push(fmt2(s.delivery_rate_mean));
+            time_row.push(fmt2(s.delivery_time_mean));
+            msgs_row.push(fmt0(s.messages_mean));
+        }
+        rate.row(rate_row);
+        time.row(time_row);
+        msgs.row(msgs_row);
+    }
+    vec![rate, time, msgs]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_cover_paper_range() {
+        let full = sizes(&Options::full());
+        assert_eq!(full.first(), Some(&100));
+        assert_eq!(full.last(), Some(&1000));
+        assert_eq!(full.len(), 10);
+        assert!(sizes(&Options::quick()).len() < full.len());
+    }
+
+    /// A single quick sweep exercising the whole pipeline and checking the
+    /// paper's headline shape: optimized gossiping uses far fewer messages
+    /// than flooding and pure gossiping in the densest setting while
+    /// keeping a high delivery rate.
+    #[test]
+    fn quick_sweep_preserves_headline_shape() {
+        let opts = Options::quick();
+        let tables = run(&opts);
+        assert_eq!(tables.len(), 3);
+        let rate = &tables[0];
+        let msgs = &tables[2];
+        let dense = rate.n_rows() - 1; // largest size = last row
+        // Columns: 1 Flooding, 2 Gossiping, 3 OptGossip2, 4 OptGossip1,
+        // 5 OptGossip (matching ProtocolKind::ALL order).
+        let flood_msgs = msgs.cell_f64(dense, 1);
+        let gossip_msgs = msgs.cell_f64(dense, 2);
+        let opt_msgs = msgs.cell_f64(dense, 5);
+        assert!(
+            opt_msgs < 0.35 * flood_msgs,
+            "optimized {opt_msgs} vs flooding {flood_msgs}"
+        );
+        assert!(
+            opt_msgs < 0.35 * gossip_msgs,
+            "optimized {opt_msgs} vs gossiping {gossip_msgs}"
+        );
+        // Dense delivery rates all healthy.
+        for col in 1..=5 {
+            let r = rate.cell_f64(dense, col);
+            assert!(r > 70.0, "col {col} delivery rate {r}");
+        }
+        // Sparse: pure gossiping beats flooding (store & forward).
+        let sparse_gossip = rate.cell_f64(0, 2);
+        let sparse_flood = rate.cell_f64(0, 1);
+        assert!(
+            sparse_gossip > sparse_flood,
+            "sparse gossip {sparse_gossip} <= flooding {sparse_flood}"
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Figure 8: performance at different motion speeds.
+//!
+//! 300 peers; mean speed swept 5–30 m/s (delta 5 m/s) for Flooding, pure
+//! Gossiping, and Optimized Gossiping. The paper's observations:
+//! Delivery Rate and Number of Messages stay roughly flat with speed,
+//! while Delivery Time *drops* as speed rises (faster peers carry ad
+//! copies across the area sooner).
+
+use super::{sweep_point, Options};
+use crate::report::{fmt0, fmt2, Table};
+use crate::scenario::Scenario;
+use ia_core::ProtocolKind;
+
+/// The three protocols Figure 8 plots.
+pub const PROTOCOLS: [ProtocolKind; 3] = [
+    ProtocolKind::Flooding,
+    ProtocolKind::Gossip,
+    ProtocolKind::OptGossip,
+];
+
+/// Network size used throughout Figure 8.
+pub const N_PEERS: usize = 300;
+
+/// Speeds swept (paper: 5..=30 step 5; quick: 3 points).
+pub fn speeds(opts: &Options) -> Vec<f64> {
+    if opts.quick {
+        vec![5.0, 15.0, 30.0]
+    } else {
+        vec![5.0, 10.0, 15.0, 20.0, 25.0, 30.0]
+    }
+}
+
+/// Run the sweep; returns tables 8(a), 8(b), 8(c).
+pub fn run(opts: &Options) -> Vec<Table> {
+    let mut headers: Vec<&str> = vec!["speed_mps"];
+    headers.extend(PROTOCOLS.iter().map(|p| p.label()));
+    let mut rate = Table::new("Fig 8(a): Delivery Rate (%) vs speed", &headers);
+    let mut time = Table::new("Fig 8(b): Delivery Time (s) vs speed", &headers);
+    let mut msgs = Table::new("Fig 8(c): Number of Messages vs speed", &headers);
+
+    for v in speeds(opts) {
+        let mut rate_row = vec![format!("{v:.0}")];
+        let mut time_row = vec![format!("{v:.0}")];
+        let mut msgs_row = vec![format!("{v:.0}")];
+        for kind in PROTOCOLS {
+            // The paper keeps delta at 5 m/s; for v = 5 the uniform
+            // distribution bottoms out just above zero.
+            let delta = if v > 5.0 { 5.0 } else { 4.0 };
+            let s = sweep_point(opts, Scenario::paper(kind, N_PEERS).with_speed(v, delta));
+            rate_row.push(fmt2(s.delivery_rate_mean));
+            time_row.push(fmt2(s.delivery_time_mean));
+            msgs_row.push(fmt0(s.messages_mean));
+        }
+        rate.row(rate_row);
+        time.row(time_row);
+        msgs.row(msgs_row);
+    }
+    vec![rate, time, msgs]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speed_grid_matches_paper() {
+        let v = speeds(&Options::full());
+        assert_eq!(v, vec![5.0, 10.0, 15.0, 20.0, 25.0, 30.0]);
+    }
+
+    /// Quick sweep: delivery time for gossiping should not *increase*
+    /// appreciably with speed (the paper observes it falls), and rates
+    /// stay healthy across the speed range.
+    #[test]
+    fn quick_sweep_speed_trends() {
+        let opts = Options::quick();
+        let tables = run(&opts);
+        let rate = &tables[0];
+        let time = &tables[1];
+        let last = rate.n_rows() - 1;
+        for col in 1..=3 {
+            assert!(
+                rate.cell_f64(last, col) > 60.0,
+                "rate at max speed, col {col}: {}",
+                rate.cell_f64(last, col)
+            );
+        }
+        // Gossiping delivery time at 30 m/s should be no more than at
+        // 5 m/s plus a modest tolerance.
+        let slow = time.cell_f64(0, 2);
+        let fast = time.cell_f64(last, 2);
+        assert!(
+            fast <= slow * 1.5 + 5.0,
+            "delivery time rose with speed: {slow} -> {fast}"
+        );
+    }
+}

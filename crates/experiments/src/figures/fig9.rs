@@ -1,0 +1,81 @@
+//! Figure 9: percentage of messages reduced by each optimization
+//! mechanism, relative to pure Gossiping, across network sizes.
+//!
+//! Paper shape: mechanism (1)'s reduction power *falls* as density rises
+//! (the annulus stays the same size while interior population grows —
+//! but interior suppression saves proportionally less once mechanism-2-
+//! style redundancy dominates); mechanism (2)'s reduction power *rises*
+//! with density (more overhearing, more postponement); combined they
+//! exceed 80 % in dense networks.
+
+use super::{sweep_point, Options};
+use crate::report::{fmt2, Table};
+use crate::scenario::Scenario;
+use ia_core::ProtocolKind;
+
+/// Sizes swept (same grid as Figure 7).
+pub fn sizes(opts: &Options) -> Vec<usize> {
+    super::fig7::sizes(opts)
+}
+
+/// The mechanisms compared against pure Gossiping.
+pub const MECHANISMS: [(ProtocolKind, &str); 3] = [
+    (ProtocolKind::OptGossip1, "Optimized Gossiping-1"),
+    (ProtocolKind::OptGossip2, "Optimized Gossiping-2"),
+    (ProtocolKind::OptGossip, "Optimized Gossiping"),
+];
+
+/// Run the sweep; returns one table of reduction percentages.
+pub fn run(opts: &Options) -> Vec<Table> {
+    let mut headers: Vec<&str> = vec!["peers"];
+    headers.extend(MECHANISMS.iter().map(|&(_, label)| label));
+    let mut table = Table::new(
+        "Fig 9: Messages reduced vs pure Gossiping (%)",
+        &headers,
+    );
+    for n in sizes(opts) {
+        let base = sweep_point(opts, Scenario::paper(ProtocolKind::Gossip, n)).messages_mean;
+        let mut row = vec![n.to_string()];
+        for (kind, _) in MECHANISMS {
+            let m = sweep_point(opts, Scenario::paper(kind, n)).messages_mean;
+            let reduction = if base > 0.0 {
+                100.0 * (1.0 - m / base)
+            } else {
+                0.0
+            };
+            row.push(fmt2(reduction));
+        }
+        table.row(row);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Quick sweep checking the headline shape: every mechanism reduces
+    /// messages, and the combined mechanism reduces the most in the
+    /// densest setting.
+    #[test]
+    fn quick_sweep_reductions_positive_and_combined_strongest() {
+        let opts = Options::quick();
+        let t = &run(&opts)[0];
+        let dense = t.n_rows() - 1;
+        for col in 1..=3 {
+            let red = t.cell_f64(dense, col);
+            assert!(
+                red > 20.0,
+                "mechanism col {col} reduction {red}% in dense network"
+            );
+        }
+        let m1 = t.cell_f64(dense, 1);
+        let m2 = t.cell_f64(dense, 2);
+        let both = t.cell_f64(dense, 3);
+        assert!(
+            both >= m1.max(m2) - 5.0,
+            "combined ({both}) should be at least the better single mechanism ({m1}, {m2})"
+        );
+        assert!(both > 60.0, "combined reduction only {both}% when dense");
+    }
+}

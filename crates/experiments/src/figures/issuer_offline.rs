@@ -1,0 +1,98 @@
+//! §III-C ablation: the issuer goes off-line shortly after issuing.
+//!
+//! "The issuer peer could issue an advertisement to neighbor peers and
+//! then go off-line, after which the advertisement is gossiped around in
+//! the nearby area. … Consequently, the issuer peer is no longer
+//! required to be on-line all the time like that in Restricted Flooding."
+//!
+//! This experiment quantifies the claim: each protocol runs twice — with
+//! a permanently on-line issuer, and with the issuer departing 60 s after
+//! issue. Flooding's delivery collapses to the handful of peers the first
+//! waves reached; the gossiping family barely notices.
+
+use super::{sweep_point, Options};
+use crate::report::{fmt0, fmt2, Table};
+use crate::scenario::Scenario;
+use ia_core::ProtocolKind;
+use ia_des::SimDuration;
+
+/// Network size used for the ablation.
+pub const N_PEERS: usize = 300;
+
+/// How long after issue the issuer stays up in the off-line arm.
+pub const OFFLINE_AFTER_S: f64 = 60.0;
+
+/// Run the ablation.
+pub fn run(opts: &Options) -> Vec<Table> {
+    let mut t = Table::new(
+        "Issuer off-line ablation (section III-C, 300 peers)",
+        &[
+            "protocol",
+            "issuer",
+            "delivery_rate_pct",
+            "delivery_time_s",
+            "messages",
+        ],
+    );
+    for kind in [
+        ProtocolKind::Flooding,
+        ProtocolKind::Gossip,
+        ProtocolKind::OptGossip,
+    ] {
+        for offline in [false, true] {
+            let mut s = Scenario::paper(kind, N_PEERS);
+            if offline {
+                s = s.with_issuer_offline_after(SimDuration::from_secs(OFFLINE_AFTER_S));
+            }
+            let sum = sweep_point(opts, s);
+            t.row(vec![
+                kind.label().to_string(),
+                if offline {
+                    format!("off-line after {OFFLINE_AFTER_S:.0}s")
+                } else {
+                    "on-line".to_string()
+                },
+                fmt2(sum.delivery_rate_mean),
+                fmt2(sum.delivery_time_mean),
+                fmt0(sum.messages_mean),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The §III-C claim, quantified: losing the issuer cripples flooding
+    /// but not gossiping.
+    #[test]
+    fn offline_issuer_cripples_flooding_not_gossip() {
+        let t = &run(&Options::quick())[0];
+        assert_eq!(t.n_rows(), 6);
+        // Rows: flooding online/offline, gossip online/offline,
+        // optimized online/offline.
+        let flood_online = t.cell_f64(0, 2);
+        let flood_offline = t.cell_f64(1, 2);
+        let gossip_online = t.cell_f64(2, 2);
+        let gossip_offline = t.cell_f64(3, 2);
+        let opt_offline = t.cell_f64(5, 2);
+        assert!(
+            flood_offline < flood_online - 20.0,
+            "flooding should collapse without its issuer: {flood_online} -> {flood_offline}"
+        );
+        assert!(
+            gossip_offline > gossip_online - 8.0,
+            "gossip should survive issuer departure: {gossip_online} -> {gossip_offline}"
+        );
+        assert!(
+            opt_offline > flood_offline,
+            "optimized gossiping must beat flooding once the issuer leaves"
+        );
+        // And flooding stops spending messages once the waves die.
+        let flood_msgs_online = t.cell_f64(0, 4);
+        let flood_msgs_offline = t.cell_f64(1, 4);
+        assert!(flood_msgs_offline < 0.6 * flood_msgs_online);
+    }
+}

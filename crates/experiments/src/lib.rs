@@ -1,0 +1,34 @@
+//! The experiment harness: scenarios, the event-driven world, metrics,
+//! and one module per figure/table of the paper's evaluation (§IV).
+//!
+//! Layering:
+//!
+//! * [`scenario`] — a declarative description of one run (field, fleet,
+//!   radio, protocol, parameters, advertisement specs, seed);
+//! * [`world`] — wires `ia-core` protocol state machines to the
+//!   `ia-des` scheduler, `ia-mobility` fleet, and `ia-radio` medium, and
+//!   drives the run to completion;
+//! * [`tracker`] — the paper's three metrics (Delivery Rate, Delivery
+//!   Time, Number of Messages), with exact area-entry times computed from
+//!   trajectory/circle intersections;
+//! * [`runner`] — multi-seed execution (parallel via crossbeam) and
+//!   summary statistics;
+//! * [`report`] — fixed-width table / CSV output shared by the figure
+//!   binaries;
+//! * [`figures`] — one module per reproduced figure: 7 (network size),
+//!   8 (speed), 9 (mechanism message reduction), 10 (alpha / round time /
+//!   DIS tuning), the beta sweep (§IV-C), and the popularity/FM study
+//!   (§III-E).
+
+pub mod figures;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+pub mod stats;
+pub mod tracker;
+pub mod world;
+
+pub use runner::{run_scenario, run_seeds, summarize, RunResult, Summary};
+pub use scenario::{AdSpec, ChurnSpec, MobilityKind, Scenario};
+pub use tracker::DeliveryTracker;
+pub use world::World;

@@ -1,0 +1,202 @@
+//! Multi-seed execution and summary statistics.
+
+use crate::scenario::Scenario;
+use crate::stats::Distribution;
+use crate::tracker::AdOutcome;
+use crate::world::World;
+use ia_radio::TrafficStats;
+
+/// The outcome of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Per-ad outcomes.
+    pub ads: Vec<AdOutcome>,
+    /// Per-ad delivery-wait distributions (same indexing as `ads`).
+    pub delivery_time_dist: Vec<Distribution>,
+    /// Channel statistics over the whole run (= one life cycle for the
+    /// paper scenarios, whose horizon is the ad's window end).
+    pub traffic: TrafficStats,
+}
+
+impl RunResult {
+    /// Delivery rate (%), averaged over ads (single-ad runs: that ad's).
+    pub fn delivery_rate(&self) -> f64 {
+        if self.ads.is_empty() {
+            return 0.0;
+        }
+        self.ads.iter().map(|a| a.delivery_rate).sum::<f64>() / self.ads.len() as f64
+    }
+
+    /// Mean delivery time (s), averaged over ads with deliveries.
+    pub fn delivery_time(&self) -> f64 {
+        let with: Vec<&AdOutcome> = self.ads.iter().filter(|a| a.delivered > 0).collect();
+        if with.is_empty() {
+            return 0.0;
+        }
+        with.iter().map(|a| a.mean_delivery_time).sum::<f64>() / with.len() as f64
+    }
+
+    /// The paper's Number of Messages.
+    pub fn messages(&self) -> u64 {
+        self.traffic.messages
+    }
+}
+
+/// Execute one scenario.
+pub fn run_scenario(scenario: &Scenario) -> RunResult {
+    let mut world = World::new(scenario.clone());
+    world.run();
+    let ads = world.tracker().outcomes();
+    let delivery_time_dist = (0..ads.len())
+        .map(|i| world.tracker().delivery_time_distribution(i))
+        .collect();
+    RunResult {
+        ads,
+        delivery_time_dist,
+        traffic: world.medium().stats().clone(),
+    }
+}
+
+/// Execute the scenario once per seed, in parallel (one thread per seed,
+/// bounded by the machine's parallelism via crossbeam's scoped threads in
+/// simple chunks).
+pub fn run_seeds(scenario: &Scenario, seeds: &[u64]) -> Vec<RunResult> {
+    if seeds.len() <= 1 {
+        return seeds
+            .iter()
+            .map(|&s| run_scenario(&scenario.clone().with_seed(s)))
+            .collect();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(seeds.len());
+    let mut results: Vec<Option<RunResult>> = vec![None; seeds.len()];
+    crossbeam::thread::scope(|scope| {
+        for (chunk_idx, chunk) in results.chunks_mut(seeds.len().div_ceil(threads)).enumerate() {
+            let chunk_size = seeds.len().div_ceil(threads);
+            let start = chunk_idx * chunk_size;
+            let seeds = &seeds[start..(start + chunk.len()).min(seeds.len())];
+            let scenario = scenario.clone();
+            scope.spawn(move |_| {
+                for (slot, &seed) in chunk.iter_mut().zip(seeds) {
+                    *slot = Some(run_scenario(&scenario.clone().with_seed(seed)));
+                }
+            });
+        }
+    })
+    .expect("seed-sweep thread panicked");
+    results.into_iter().map(|r| r.expect("missing run")).collect()
+}
+
+/// Mean/stddev summary over a seed sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    pub runs: usize,
+    pub delivery_rate_mean: f64,
+    pub delivery_rate_std: f64,
+    pub delivery_time_mean: f64,
+    pub delivery_time_std: f64,
+    pub messages_mean: f64,
+    pub messages_std: f64,
+}
+
+fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    if xs.len() == 1 {
+        return (mean, 0.0);
+    }
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    (mean, var.sqrt())
+}
+
+/// Aggregate a seed sweep.
+pub fn summarize(results: &[RunResult]) -> Summary {
+    let rates: Vec<f64> = results.iter().map(|r| r.delivery_rate()).collect();
+    let times: Vec<f64> = results.iter().map(|r| r.delivery_time()).collect();
+    let msgs: Vec<f64> = results.iter().map(|r| r.messages() as f64).collect();
+    let (delivery_rate_mean, delivery_rate_std) = mean_std(&rates);
+    let (delivery_time_mean, delivery_time_std) = mean_std(&times);
+    let (messages_mean, messages_std) = mean_std(&msgs);
+    Summary {
+        runs: results.len(),
+        delivery_rate_mean,
+        delivery_rate_std,
+        delivery_time_mean,
+        delivery_time_std,
+        messages_mean,
+        messages_std,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ia_core::ProtocolKind;
+    use ia_des::SimDuration;
+
+    fn tiny(n: usize) -> Scenario {
+        Scenario::paper(ProtocolKind::Gossip, n).with_life_cycle(SimDuration::from_secs(200.0))
+    }
+
+    #[test]
+    fn run_scenario_produces_consistent_result() {
+        let r = run_scenario(&tiny(60));
+        assert_eq!(r.ads.len(), 1);
+        assert!(r.messages() > 0);
+        assert_eq!(r.messages(), r.traffic.messages);
+        assert!((0.0..=100.0).contains(&r.delivery_rate()));
+        // Distribution agrees with the outcome's mean and sample count.
+        let d = &r.delivery_time_dist[0];
+        assert_eq!(d.count, r.ads[0].delivered_passages);
+        assert!((d.mean - r.ads[0].mean_delivery_time).abs() < 1e-9);
+        assert!(d.p50 <= d.p90 && d.p90 <= d.p99 && d.p99 <= d.max);
+    }
+
+    #[test]
+    fn run_seeds_matches_individual_runs() {
+        let s = tiny(40);
+        let sweep = run_seeds(&s, &[11, 12, 13]);
+        assert_eq!(sweep.len(), 3);
+        let solo = run_scenario(&s.clone().with_seed(12));
+        assert_eq!(sweep[1], solo, "parallel sweep must equal a solo run");
+    }
+
+    #[test]
+    fn summarize_computes_mean_and_std() {
+        let s = tiny(40);
+        let sweep = run_seeds(&s, &[1, 2, 3, 4]);
+        let sum = summarize(&sweep);
+        assert_eq!(sum.runs, 4);
+        assert!(sum.messages_mean > 0.0);
+        assert!(sum.delivery_rate_mean >= 0.0);
+        assert!(sum.messages_std >= 0.0);
+        // Mean must sit inside the observed range.
+        let lo = sweep.iter().map(|r| r.messages() as f64).fold(f64::MAX, f64::min);
+        let hi = sweep.iter().map(|r| r.messages() as f64).fold(0.0, f64::max);
+        assert!(sum.messages_mean >= lo && sum.messages_mean <= hi);
+    }
+
+    #[test]
+    fn mean_std_edge_cases() {
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        assert_eq!(mean_std(&[5.0]), (5.0, 0.0));
+        let (m, s) = mean_std(&[1.0, 3.0]);
+        assert_eq!(m, 2.0);
+        assert!((s - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_result_is_safe() {
+        let r = RunResult {
+            ads: vec![],
+            delivery_time_dist: vec![],
+            traffic: TrafficStats::new(),
+        };
+        assert_eq!(r.delivery_rate(), 0.0);
+        assert_eq!(r.delivery_time(), 0.0);
+    }
+}

@@ -1,0 +1,289 @@
+//! Declarative scenario descriptions (Tables II/III of the paper).
+
+use ia_core::{GossipParams, ProtocolKind};
+use ia_des::{SimDuration, SimTime};
+use ia_geo::{Point, Rect};
+use ia_radio::RadioConfig;
+
+/// Which mobility model drives the mobile peers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MobilityKind {
+    /// The paper's Random Waypoint model.
+    RandomWaypoint,
+    /// Street-grid mobility (robustness extension).
+    Manhattan,
+}
+
+/// One advertisement to issue during the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdSpec {
+    /// Where the ad is issued; a stationary issuer node is placed here.
+    pub issue_pos: Point,
+    /// When the issuer broadcasts it.
+    pub issue_time: SimTime,
+    /// Initial advertising radius `R0`, metres.
+    pub radius: f64,
+    /// Initial duration `D0`.
+    pub duration: SimDuration,
+    /// Topic keywords.
+    pub topics: Vec<u32>,
+    /// Content size for traffic accounting, bytes.
+    pub payload_bytes: usize,
+}
+
+impl AdSpec {
+    /// The paper's single advertisement: issued at the field centre
+    /// shortly after start, `R = 1000 m`, `D = 1800 s`.
+    pub fn paper() -> Self {
+        AdSpec {
+            issue_pos: Point::new(2500.0, 2500.0),
+            issue_time: SimTime::from_secs(10.0),
+            radius: 1000.0,
+            duration: SimDuration::from_secs(1800.0),
+            topics: vec![1],
+            payload_bytes: 200,
+        }
+    }
+
+    /// End of this ad's life cycle (the metric window).
+    pub fn window_end(&self) -> SimTime {
+        self.issue_time + self.duration
+    }
+}
+
+/// Device churn: peers alternate between on-line and off-line periods
+/// drawn from exponential distributions (memoryless up/down process).
+/// The paper motivates gossiping with the "highly vulnerable mobile
+/// environment"; churn makes that vulnerability concrete — an off-line
+/// device neither relays nor receives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnSpec {
+    /// Mean on-line period.
+    pub mean_up: SimDuration,
+    /// Mean off-line period.
+    pub mean_down: SimDuration,
+}
+
+impl ChurnSpec {
+    pub fn new(mean_up: SimDuration, mean_down: SimDuration) -> Self {
+        assert!(!mean_up.is_zero() && !mean_down.is_zero(), "zero churn period");
+        ChurnSpec { mean_up, mean_down }
+    }
+
+    /// Long-run fraction of time a peer is on-line.
+    pub fn availability(&self) -> f64 {
+        let up = self.mean_up.as_secs();
+        up / (up + self.mean_down.as_secs())
+    }
+}
+
+/// Interest-assignment workload for the mobile peers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InterestWorkload {
+    /// Nobody has interests (the paper's Figures 7–10 setting: interests
+    /// play no role in single-ad delivery experiments).
+    None,
+    /// Each peer is independently interested in topic `t` of `universe`
+    /// topics with probability `p_interested` (used by the popularity
+    /// experiments).
+    Uniform { universe: u32, p_interested: f64 },
+}
+
+/// A complete description of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    pub protocol: ProtocolKind,
+    /// Number of mobile peers (issuers are added on top).
+    pub n_peers: usize,
+    /// Simulation field.
+    pub area: Rect,
+    /// Mean speed, m/s (the paper sweeps 5–30).
+    pub speed_mean: f64,
+    /// Half-width of the uniform speed distribution, m/s.
+    pub speed_delta: f64,
+    /// Maximum pause time at waypoints, seconds.
+    pub pause_max: f64,
+    pub mobility: MobilityKind,
+    pub radio: RadioConfig,
+    pub params: GossipParams,
+    /// Run until this simulated time.
+    pub sim_time: SimDuration,
+    /// Advertisements to issue (each gets a stationary issuer node).
+    pub ads: Vec<AdSpec>,
+    pub interests: InterestWorkload,
+    /// If set, every issuer node switches off this long after issuing its
+    /// advertisement (radio silent, no timers). The paper's §III-C claim:
+    /// gossiping keeps the ad alive cooperatively, "the issuer can simply
+    /// broadcast an advertisement to peers nearby and then go off-line",
+    /// while Restricted Flooding needs the issuer on-line all along.
+    pub issuer_offline_after: Option<SimDuration>,
+    /// Optional device churn applied to every *mobile* peer (issuers are
+    /// governed by `issuer_offline_after` instead).
+    pub churn: Option<ChurnSpec>,
+    /// Master seed; every RNG stream in the run derives from it.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Table II: the paper's base configuration, parameterised by
+    /// protocol and network size.
+    pub fn paper(protocol: ProtocolKind, n_peers: usize) -> Self {
+        let ad = AdSpec::paper();
+        let sim_time = ad.window_end() - SimTime::ZERO; // one life cycle
+        Scenario {
+            protocol,
+            n_peers,
+            area: Rect::with_size(5000.0, 5000.0),
+            speed_mean: 10.0,
+            speed_delta: 5.0,
+            pause_max: 10.0,
+            mobility: MobilityKind::RandomWaypoint,
+            radio: RadioConfig::paper().with_max_speed(15.0),
+            params: GossipParams::paper(),
+            sim_time,
+            ads: vec![ad],
+            interests: InterestWorkload::None,
+            issuer_offline_after: None,
+            churn: None,
+            seed: 42,
+        }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_speed(mut self, mean: f64, delta: f64) -> Self {
+        assert!(mean > delta && delta >= 0.0, "invalid speed spec");
+        self.speed_mean = mean;
+        self.speed_delta = delta;
+        self.radio = self.radio.clone().with_max_speed(mean + delta);
+        self
+    }
+
+    pub fn with_params(mut self, params: GossipParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    pub fn with_protocol(mut self, protocol: ProtocolKind) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    pub fn with_mobility(mut self, mobility: MobilityKind) -> Self {
+        self.mobility = mobility;
+        self
+    }
+
+    /// Switch issuers off `after` their issue instant (see
+    /// [`Scenario::issuer_offline_after`]).
+    pub fn with_issuer_offline_after(mut self, after: SimDuration) -> Self {
+        self.issuer_offline_after = Some(after);
+        self
+    }
+
+    /// Apply device churn to all mobile peers.
+    pub fn with_churn(mut self, churn: ChurnSpec) -> Self {
+        self.churn = Some(churn);
+        self
+    }
+
+    /// Rescale the run to a shorter (or longer) advertisement life cycle.
+    /// The formula-(2) age unit is absolute (one round time), so the
+    /// radius profile keeps its shape: `R_t ≈ R` until the final rounds,
+    /// then collapse.
+    pub fn with_life_cycle(mut self, duration: SimDuration) -> Self {
+        assert!(!duration.is_zero(), "zero life cycle");
+        for ad in &mut self.ads {
+            ad.duration = duration;
+        }
+        let last_end = self
+            .ads
+            .iter()
+            .map(|a| a.window_end())
+            .max()
+            .expect("ads present");
+        self.sim_time = last_end - SimTime::ZERO;
+        self
+    }
+
+    /// Total node count: mobile peers plus one stationary issuer per ad.
+    pub fn n_nodes(&self) -> usize {
+        self.n_peers + self.ads.len()
+    }
+
+    /// Node id of the issuer for ad `i` (issuers follow the mobile peers).
+    pub fn issuer_node(&self, ad_index: usize) -> u32 {
+        (self.n_peers + ad_index) as u32
+    }
+
+    /// Peer density in peers per square kilometre (the paper quotes
+    /// 4–40 /km² for 100–1000 peers).
+    pub fn density_per_km2(&self) -> f64 {
+        self.n_peers as f64 / (self.area.area() / 1.0e6)
+    }
+
+    pub fn validate(&self) {
+        assert!(self.n_peers >= 1, "need at least one mobile peer");
+        assert!(!self.ads.is_empty(), "need at least one advertisement");
+        assert!(!self.sim_time.is_zero(), "zero sim time");
+        self.params.validate();
+        for ad in &self.ads {
+            assert!(
+                self.area.contains(ad.issue_pos),
+                "issue position outside the field"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scenario_matches_table2() {
+        let s = Scenario::paper(ProtocolKind::Gossip, 300);
+        s.validate();
+        assert_eq!(s.area.width(), 5000.0);
+        assert_eq!(s.speed_mean, 10.0);
+        assert_eq!(s.speed_delta, 5.0);
+        assert_eq!(s.radio.range, 250.0);
+        assert_eq!(s.ads[0].radius, 1000.0);
+        assert_eq!(s.ads[0].duration, SimDuration::from_secs(1800.0));
+        assert_eq!(s.params.round_time, SimDuration::from_secs(5.0));
+        assert_eq!(s.params.dis, 250.0);
+        assert_eq!(s.n_nodes(), 301);
+        assert_eq!(s.issuer_node(0), 300);
+    }
+
+    #[test]
+    fn density_matches_paper_range() {
+        assert!((Scenario::paper(ProtocolKind::Gossip, 100).density_per_km2() - 4.0).abs() < 1e-9);
+        assert!(
+            (Scenario::paper(ProtocolKind::Gossip, 1000).density_per_km2() - 40.0).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn with_speed_updates_radio_bound() {
+        let s = Scenario::paper(ProtocolKind::Gossip, 100).with_speed(30.0, 5.0);
+        assert_eq!(s.radio.max_speed, 35.0);
+    }
+
+    #[test]
+    fn sim_time_covers_one_life_cycle() {
+        let s = Scenario::paper(ProtocolKind::Gossip, 100);
+        assert_eq!(s.sim_time, SimDuration::from_secs(1810.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "issue position outside")]
+    fn bad_issue_position_rejected() {
+        let mut s = Scenario::paper(ProtocolKind::Gossip, 100);
+        s.ads[0].issue_pos = Point::new(-10.0, 0.0);
+        s.validate();
+    }
+}

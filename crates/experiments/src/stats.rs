@@ -1,0 +1,147 @@
+//! Small statistics helpers for metric distributions.
+//!
+//! The paper reports only mean delivery times; tail latency matters for
+//! an advertising system (a peer served 60 s after entering a 100 s
+//! passage is barely served), so the tracker also reports percentiles
+//! computed with the helpers here.
+
+/// Percentile of a sample set by linear interpolation between closest
+/// ranks (the common "exclusive" definition, clamped at the extremes).
+/// `q` is in `[0, 1]`. Returns `None` on an empty sample.
+pub fn percentile(samples: &mut [f64], q: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    samples.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    let n = samples.len();
+    if n == 1 {
+        return Some(samples[0]);
+    }
+    let rank = q * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(samples[lo] + (samples[hi] - samples[lo]) * frac)
+}
+
+/// Mean of a sample set (0 for empty).
+pub fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        0.0
+    } else {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+}
+
+/// A summary of one metric's distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Distribution {
+    pub count: usize,
+    pub mean: f64,
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
+    pub max: f64,
+}
+
+impl Distribution {
+    /// Summarise samples (all zeros for an empty set).
+    pub fn of(mut samples: Vec<f64>) -> Self {
+        if samples.is_empty() {
+            return Distribution {
+                count: 0,
+                mean: 0.0,
+                p50: 0.0,
+                p90: 0.0,
+                p99: 0.0,
+                max: 0.0,
+            };
+        }
+        let mean = mean(&samples);
+        let p50 = percentile(&mut samples, 0.50).unwrap();
+        let p90 = percentile(&mut samples, 0.90).unwrap();
+        let p99 = percentile(&mut samples, 0.99).unwrap();
+        let max = *samples.last().unwrap(); // sorted by percentile()
+        Distribution {
+            count: samples.len(),
+            mean,
+            p50,
+            p90,
+            p99,
+            max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(percentile(&mut [], 0.5), None);
+        assert_eq!(percentile(&mut [7.0], 0.0), Some(7.0));
+        assert_eq!(percentile(&mut [7.0], 1.0), Some(7.0));
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn quartiles_of_known_set() {
+        let mut xs = vec![4.0, 1.0, 3.0, 2.0, 5.0];
+        assert_eq!(percentile(&mut xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&mut xs, 0.5), Some(3.0));
+        assert_eq!(percentile(&mut xs, 1.0), Some(5.0));
+        assert_eq!(percentile(&mut xs, 0.25), Some(2.0));
+        // Interpolated: q=0.1 over ranks 0..4 -> rank 0.4 -> 1.4.
+        assert!((percentile(&mut xs, 0.1).unwrap() - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_summary() {
+        let d = Distribution::of((1..=100).map(f64::from).collect());
+        assert_eq!(d.count, 100);
+        assert_eq!(d.mean, 50.5);
+        assert_eq!(d.p50, 50.5);
+        assert!((d.p90 - 90.1).abs() < 1e-9);
+        assert_eq!(d.max, 100.0);
+        assert!(d.p99 <= d.max && d.p90 <= d.p99 && d.p50 <= d.p90);
+    }
+
+    #[test]
+    fn distribution_of_empty_is_zeros() {
+        let d = Distribution::of(vec![]);
+        assert_eq!(d.count, 0);
+        assert_eq!(d.max, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn bad_quantile_rejected() {
+        let _ = percentile(&mut [1.0], 1.5);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Percentiles are monotone in q and bounded by the sample range.
+        #[test]
+        fn percentile_monotone(mut xs in proptest::collection::vec(-1e6..1e6f64, 1..200)) {
+            let mut last = f64::NEG_INFINITY;
+            for k in 0..=10 {
+                let q = k as f64 / 10.0;
+                let p = percentile(&mut xs, q).unwrap();
+                prop_assert!(p >= last);
+                last = p;
+            }
+            let lo = xs.iter().cloned().fold(f64::MAX, f64::min);
+            let hi = xs.iter().cloned().fold(f64::MIN, f64::max);
+            prop_assert!(last <= hi + 1e-9);
+            prop_assert!(percentile(&mut xs, 0.0).unwrap() >= lo - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,578 @@
+//! The simulation world: protocols x mobility x radio x scheduler.
+
+use crate::scenario::{InterestWorkload, MobilityKind, Scenario};
+use crate::tracker::DeliveryTracker;
+use ia_core::{
+    build_protocol, Action, AdId, AdMessage, Advertisement, PeerContext, PeerId, Protocol, RxMeta,
+    UserProfile,
+};
+use ia_des::{rng::stream, Scheduler, SimDuration, SimRng, SimTime};
+use ia_mobility::{Fleet, Manhattan, MobilityModel, RandomWaypoint, Stationary};
+use ia_radio::Medium;
+use std::rc::Rc;
+
+/// Events driving one run.
+enum Event {
+    /// Bring a peer online (fires at t = 0 for everyone).
+    Start(u32),
+    /// A peer's global gossip/flood round wake-up.
+    Round(u32),
+    /// A per-cache-entry wake-up (Optimized Gossiping-2).
+    Entry(u32, AdId),
+    /// Frame arrival at a receiver.
+    Deliver {
+        msg: Rc<AdMessage>,
+        meta: RxMeta,
+        to: u32,
+    },
+    /// The issuer of ad `index` publishes it.
+    Issue { index: usize },
+    /// A node switches off: no further transmissions, receptions, or
+    /// timers (the paper's issuer-goes-off-line scenario).
+    Depart(u32),
+    /// A churned node switches back on; its protocol restarts (warm
+    /// cache, fresh timers).
+    Rejoin(u32),
+}
+
+/// A fully wired simulation run.
+pub struct World {
+    scenario: Scenario,
+    fleet: Fleet,
+    medium: Medium,
+    sched: Scheduler<Event>,
+    peers: Vec<Box<dyn Protocol>>,
+    rngs: Vec<SimRng>,
+    radio_rng: SimRng,
+    tracker: DeliveryTracker,
+    ad_ids: Vec<AdId>,
+    /// Per-node online flag; departed nodes are radio-silent and ignore
+    /// timers.
+    online: Vec<bool>,
+}
+
+/// Velocity-estimation window for the paper's "two consecutive recorded
+/// locations" heading derivation.
+const VELOCITY_FIX_WINDOW: SimDuration = SimDuration::from_millis(1000);
+
+impl World {
+    /// Build the world: generate the fleet (mobile peers + one stationary
+    /// issuer per ad), instantiate per-peer protocol state, and schedule
+    /// start/issue events.
+    pub fn new(scenario: Scenario) -> Self {
+        scenario.validate();
+        let start = SimTime::ZERO;
+        let end = start + scenario.sim_time;
+
+        // Mobile peers.
+        let mut trajectories = Vec::with_capacity(scenario.n_nodes());
+        match scenario.mobility {
+            MobilityKind::RandomWaypoint => {
+                let model = RandomWaypoint::paper(
+                    scenario.area,
+                    scenario.speed_mean,
+                    scenario.speed_delta,
+                )
+                .with_pause(0.0, scenario.pause_max);
+                for i in 0..scenario.n_peers {
+                    let mut rng = SimRng::derive(scenario.seed, stream::MOBILITY | i as u64);
+                    trajectories.push(model.trajectory(&mut rng, start, end));
+                }
+            }
+            MobilityKind::Manhattan => {
+                let model =
+                    Manhattan::paper(scenario.area, scenario.speed_mean, scenario.speed_delta);
+                for i in 0..scenario.n_peers {
+                    let mut rng = SimRng::derive(scenario.seed, stream::MOBILITY | i as u64);
+                    trajectories.push(model.trajectory(&mut rng, start, end));
+                }
+            }
+        }
+        // Issuer nodes: stationary at the issue positions.
+        for spec in &scenario.ads {
+            let model = Stationary::at(spec.issue_pos);
+            let mut rng = SimRng::derive(scenario.seed, stream::PLACEMENT);
+            trajectories.push(model.trajectory(&mut rng, start, end));
+        }
+        let fleet = Fleet::from_trajectories(trajectories);
+
+        // Per-peer protocol instances and RNG streams.
+        let mut peers: Vec<Box<dyn Protocol>> = Vec::with_capacity(scenario.n_nodes());
+        let mut rngs = Vec::with_capacity(scenario.n_nodes());
+        for node in 0..scenario.n_nodes() as u32 {
+            let profile = Self::profile_for(&scenario, node);
+            peers.push(build_protocol(
+                scenario.protocol,
+                scenario.params.clone(),
+                profile,
+            ));
+            rngs.push(SimRng::derive(scenario.seed, stream::PROTOCOL | node as u64));
+        }
+
+        let medium = Medium::new(scenario.radio.clone());
+        let mut sched = Scheduler::new().with_horizon(end);
+        for node in 0..scenario.n_nodes() as u32 {
+            sched.schedule_at(start, Event::Start(node));
+        }
+        let ad_ids: Vec<AdId> = scenario
+            .ads
+            .iter()
+            .enumerate()
+            .map(|(i, _)| AdId::new(PeerId(scenario.issuer_node(i)), i as u32))
+            .collect();
+        for (i, spec) in scenario.ads.iter().enumerate() {
+            sched.schedule_at(spec.issue_time, Event::Issue { index: i });
+        }
+        if let Some(churn) = &scenario.churn {
+            // Pre-generate each mobile peer's up/down timeline from its
+            // own stream (exponential periods, memoryless process).
+            for node in 0..scenario.n_peers as u32 {
+                let mut rng =
+                    SimRng::derive(scenario.seed, stream::WORKLOAD | node as u64);
+                let exp = |rng: &mut SimRng, mean: SimDuration| {
+                    let u = rng.unit().max(1e-12);
+                    mean.mul_f64(-u.ln())
+                };
+                let mut t = start + exp(&mut rng, churn.mean_up);
+                while t < end {
+                    sched.schedule_at(t, Event::Depart(node));
+                    t += exp(&mut rng, churn.mean_down);
+                    if t >= end {
+                        break;
+                    }
+                    sched.schedule_at(t, Event::Rejoin(node));
+                    t += exp(&mut rng, churn.mean_up);
+                }
+            }
+        }
+        if let Some(after) = scenario.issuer_offline_after {
+            for (i, spec) in scenario.ads.iter().enumerate() {
+                sched.schedule_at(
+                    spec.issue_time + after,
+                    Event::Depart(scenario.issuer_node(i)),
+                );
+            }
+        }
+        let specs: Vec<(AdId, crate::scenario::AdSpec)> = ad_ids
+            .iter()
+            .copied()
+            .zip(scenario.ads.iter().cloned())
+            .collect();
+        let tracker = DeliveryTracker::new(&fleet, scenario.n_peers, &specs);
+        let online = vec![true; scenario.n_nodes()];
+
+        World {
+            radio_rng: SimRng::derive(scenario.seed, stream::RADIO),
+            scenario,
+            fleet,
+            medium,
+            sched,
+            peers,
+            rngs,
+            tracker,
+            ad_ids,
+            online,
+        }
+    }
+
+    fn profile_for(scenario: &Scenario, node: u32) -> UserProfile {
+        let user_id = ia_des::derive_seed(scenario.seed, stream::INTEREST | node as u64);
+        match &scenario.interests {
+            InterestWorkload::None => UserProfile::indifferent(user_id),
+            InterestWorkload::Uniform {
+                universe,
+                p_interested,
+            } => {
+                let mut rng = SimRng::derive(scenario.seed, stream::INTEREST | node as u64);
+                let interests: Vec<u32> = (1..=*universe)
+                    .filter(|_| rng.chance(*p_interested))
+                    .collect();
+                UserProfile::new(user_id, interests)
+            }
+        }
+    }
+
+    /// Drive the run to the horizon.
+    pub fn run(&mut self) {
+        while let Some(ev) = self.sched.pop() {
+            self.handle(ev);
+        }
+    }
+
+    /// Drive the run up to (and including) simulated time `t`, then stop.
+    /// Repeated calls step the world forward; useful for inspection and
+    /// visualisation between phases. Returns how many events fired.
+    pub fn run_until(&mut self, t: SimTime) -> u64 {
+        let mut fired = 0;
+        while let Some(next) = self.sched.peek_time() {
+            if next > t {
+                break;
+            }
+            let Some(ev) = self.sched.pop() else { break };
+            self.handle(ev);
+            fired += 1;
+        }
+        fired
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Snapshot for visualisation: every node's position at `t` plus
+    /// whether it currently holds `ad` and whether it is online.
+    pub fn snapshot(&self, ad: AdId, t: SimTime) -> Vec<(ia_geo::Point, bool, bool)> {
+        (0..self.scenario.n_nodes() as u32)
+            .map(|node| {
+                (
+                    self.fleet.position(node, t),
+                    self.peers[node as usize].holds(ad),
+                    self.online[node as usize],
+                )
+            })
+            .collect()
+    }
+
+    fn handle(&mut self, ev: Event) {
+        let now = self.sched.now();
+        // Departed nodes drop everything addressed to them.
+        let target = match &ev {
+            Event::Start(n) | Event::Round(n) | Event::Entry(n, _) => Some(*n),
+            Event::Deliver { to, .. } => Some(*to),
+            Event::Issue { index } => Some(self.scenario.issuer_node(*index)),
+            Event::Depart(_) | Event::Rejoin(_) => None,
+        };
+        if let Some(n) = target {
+            if !self.online[n as usize] {
+                return;
+            }
+        }
+        match ev {
+            Event::Depart(node) => {
+                self.online[node as usize] = false;
+            }
+            Event::Rejoin(node) => {
+                if !self.online[node as usize] {
+                    self.online[node as usize] = true;
+                    let actions = self.with_ctx(node, now, |peer, ctx| peer.on_start(ctx));
+                    self.apply(node, now, actions);
+                }
+            }
+            Event::Start(node) => {
+                let actions = self.with_ctx(node, now, |peer, ctx| peer.on_start(ctx));
+                self.apply(node, now, actions);
+            }
+            Event::Round(node) => {
+                let actions = self.with_ctx(node, now, |peer, ctx| peer.on_round(ctx));
+                self.apply(node, now, actions);
+            }
+            Event::Entry(node, ad) => {
+                let actions = self.with_ctx(node, now, |peer, ctx| peer.on_entry_timer(ctx, ad));
+                self.apply(node, now, actions);
+            }
+            Event::Deliver { msg, meta, to } => {
+                let actions = self.with_ctx(to, now, |peer, ctx| peer.on_receive(ctx, &msg, &meta));
+                self.apply(to, now, actions);
+            }
+            Event::Issue { index } => {
+                let node = self.scenario.issuer_node(index);
+                let spec = self.scenario.ads[index].clone();
+                let ad = Advertisement::new(
+                    self.ad_ids[index],
+                    spec.issue_pos,
+                    now,
+                    spec.radius,
+                    spec.duration,
+                    spec.topics.clone(),
+                    spec.payload_bytes,
+                    &self.scenario.params,
+                );
+                let actions = self.with_ctx(node, now, |peer, ctx| peer.issue(ctx, ad));
+                self.apply(node, now, actions);
+            }
+        }
+    }
+
+    fn with_ctx<R>(
+        &mut self,
+        node: u32,
+        now: SimTime,
+        f: impl FnOnce(&mut dyn Protocol, &mut PeerContext<'_>) -> R,
+    ) -> R {
+        let position = self.fleet.position(node, now);
+        let velocity = self
+            .fleet
+            .estimated_velocity(node, now, VELOCITY_FIX_WINDOW);
+        let mut ctx = PeerContext {
+            now,
+            position,
+            velocity,
+            rng: &mut self.rngs[node as usize],
+        };
+        f(self.peers[node as usize].as_mut(), &mut ctx)
+    }
+
+    fn apply(&mut self, node: u32, now: SimTime, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Broadcast(msg) => {
+                    let bytes = msg.bytes();
+                    let deliveries =
+                        self.medium
+                            .broadcast(&self.fleet, now, node, bytes, &mut self.radio_rng);
+                    let shared = Rc::new(msg);
+                    for d in deliveries {
+                        self.sched.schedule_at(
+                            d.arrival,
+                            Event::Deliver {
+                                msg: Rc::clone(&shared),
+                                meta: RxMeta {
+                                    sender_pos: d.sender_pos,
+                                    from: d.from,
+                                    distance: d.distance,
+                                },
+                                to: d.to,
+                            },
+                        );
+                    }
+                }
+                Action::ScheduleRound(at) => {
+                    self.sched.schedule_at(at.max(now), Event::Round(node));
+                }
+                Action::ScheduleEntry { ad, at } => {
+                    self.sched.schedule_at(at.max(now), Event::Entry(node, ad));
+                }
+                Action::Accepted { ad } => {
+                    self.tracker.record_receipt(node, ad, now);
+                }
+            }
+        }
+    }
+
+    /// Accessors for the runner.
+    pub fn tracker(&self) -> &DeliveryTracker {
+        &self.tracker
+    }
+
+    pub fn medium(&self) -> &Medium {
+        &self.medium
+    }
+
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    pub fn ad_ids(&self) -> &[AdId] {
+        &self.ad_ids
+    }
+
+    /// How many peers currently hold `ad` (diagnostics).
+    pub fn holders(&self, ad: AdId) -> usize {
+        self.peers.iter().filter(|p| p.holds(ad)).count()
+    }
+
+    /// The most-informed copy of `ad` anywhere in the network: maximal
+    /// estimated rank and the (monotone) enlarged radius/duration. `None`
+    /// if no peer stores a copy.
+    pub fn best_copy(&self, ad: AdId) -> Option<Advertisement> {
+        let mut best: Option<Advertisement> = None;
+        for peer in &self.peers {
+            if let Some(copy) = peer.cached_ad(ad) {
+                match &mut best {
+                    None => best = Some(copy.clone()),
+                    Some(b) => b.absorb(copy),
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ia_core::ProtocolKind;
+
+    fn tiny(protocol: ProtocolKind, n: usize, seed: u64) -> Scenario {
+        // Shrink the run so unit tests stay fast: 300 s life cycle.
+        Scenario::paper(protocol, n)
+            .with_seed(seed)
+            .with_life_cycle(SimDuration::from_secs(300.0))
+    }
+
+    #[test]
+    fn world_runs_to_completion_for_every_protocol() {
+        for kind in ProtocolKind::ALL {
+            let mut w = World::new(tiny(kind, 50, 1));
+            w.run();
+            assert!(
+                w.medium().stats().messages > 0,
+                "{kind}: no traffic at all"
+            );
+        }
+    }
+
+    #[test]
+    fn gossip_delivers_in_dense_network() {
+        let mut w = World::new(tiny(ProtocolKind::Gossip, 300, 2));
+        w.run();
+        let out = &w.tracker().outcomes()[0];
+        assert!(out.passed > 50, "passed {}", out.passed);
+        assert!(
+            out.delivery_rate > 80.0,
+            "dense gossip delivery rate {}",
+            out.delivery_rate
+        );
+    }
+
+    #[test]
+    fn flooding_delivers_in_dense_network() {
+        let mut w = World::new(tiny(ProtocolKind::Flooding, 300, 3));
+        w.run();
+        let out = &w.tracker().outcomes()[0];
+        assert!(
+            out.delivery_rate > 85.0,
+            "dense flooding delivery rate {}",
+            out.delivery_rate
+        );
+    }
+
+    #[test]
+    fn optimized_gossiping_sends_far_fewer_messages_than_flooding() {
+        let mut flood = World::new(tiny(ProtocolKind::Flooding, 300, 4));
+        flood.run();
+        let mut opt = World::new(tiny(ProtocolKind::OptGossip, 300, 4));
+        opt.run();
+        let f = flood.medium().stats().messages;
+        let o = opt.medium().stats().messages;
+        assert!(
+            (o as f64) < 0.5 * f as f64,
+            "optimized {o} vs flooding {f} messages"
+        );
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_runs() {
+        let mut a = World::new(tiny(ProtocolKind::OptGossip, 80, 7));
+        a.run();
+        let mut b = World::new(tiny(ProtocolKind::OptGossip, 80, 7));
+        b.run();
+        assert_eq!(a.medium().stats(), b.medium().stats());
+        assert_eq!(a.tracker().outcomes(), b.tracker().outcomes());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = World::new(tiny(ProtocolKind::Gossip, 80, 8));
+        a.run();
+        let mut b = World::new(tiny(ProtocolKind::Gossip, 80, 9));
+        b.run();
+        assert_ne!(a.medium().stats().messages, b.medium().stats().messages);
+    }
+
+    #[test]
+    fn issuer_departure_stops_flooding_traffic() {
+        let online = {
+            let mut w = World::new(tiny(ProtocolKind::Flooding, 100, 21));
+            w.run();
+            w.medium().stats().messages
+        };
+        let offline = {
+            let mut s = tiny(ProtocolKind::Flooding, 100, 21);
+            s = s.with_issuer_offline_after(SimDuration::from_secs(30.0));
+            let mut w = World::new(s);
+            w.run();
+            w.medium().stats().messages
+        };
+        assert!(
+            offline < online / 2,
+            "issuer departure should kill most waves: {offline} vs {online}"
+        );
+    }
+
+    #[test]
+    fn churn_reduces_but_does_not_kill_gossip() {
+        use crate::scenario::ChurnSpec;
+        let steady = {
+            let mut w = World::new(tiny(ProtocolKind::Gossip, 150, 22));
+            w.run();
+            w.tracker().outcomes()[0].clone()
+        };
+        let churned = {
+            let s = tiny(ProtocolKind::Gossip, 150, 22).with_churn(ChurnSpec::new(
+                SimDuration::from_secs(60.0),
+                SimDuration::from_secs(60.0),
+            ));
+            let mut w = World::new(s);
+            w.run();
+            w.tracker().outcomes()[0].clone()
+        };
+        assert!(churned.delivery_rate < steady.delivery_rate);
+        assert!(
+            churned.delivery_rate > 40.0,
+            "heavy churn should degrade, not kill: {}",
+            churned.delivery_rate
+        );
+    }
+
+    #[test]
+    fn churned_runs_stay_reproducible() {
+        use crate::scenario::ChurnSpec;
+        let mk = || {
+            tiny(ProtocolKind::OptGossip, 80, 23).with_churn(ChurnSpec::new(
+                SimDuration::from_secs(100.0),
+                SimDuration::from_secs(50.0),
+            ))
+        };
+        let mut a = World::new(mk());
+        a.run();
+        let mut b = World::new(mk());
+        b.run();
+        assert_eq!(a.medium().stats(), b.medium().stats());
+        assert_eq!(a.tracker().outcomes(), b.tracker().outcomes());
+    }
+
+    #[test]
+    fn run_until_steps_incrementally_and_matches_full_run() {
+        let mut stepped = World::new(tiny(ProtocolKind::Gossip, 60, 24));
+        for k in 1..=31 {
+            stepped.run_until(SimTime::from_secs(k as f64 * 10.0));
+        }
+        stepped.run();
+        let mut full = World::new(tiny(ProtocolKind::Gossip, 60, 24));
+        full.run();
+        assert_eq!(stepped.medium().stats(), full.medium().stats());
+        assert_eq!(stepped.tracker().outcomes(), full.tracker().outcomes());
+    }
+
+    #[test]
+    fn snapshot_reports_positions_and_holders() {
+        let mut w = World::new(tiny(ProtocolKind::Gossip, 60, 25));
+        w.run_until(SimTime::from_secs(100.0));
+        let ad = w.ad_ids()[0];
+        let snap = w.snapshot(ad, w.now());
+        assert_eq!(snap.len(), 61); // 60 peers + issuer
+        let holders = snap.iter().filter(|(_, h, _)| *h).count();
+        assert_eq!(holders, w.holders(ad));
+        assert!(snap.iter().all(|(_, _, online)| *online));
+        // All positions inside the field.
+        let area = w.scenario().area;
+        assert!(snap.iter().all(|(p, _, _)| area.contains(*p)));
+    }
+
+    #[test]
+    fn ad_spreads_to_many_holders_under_gossip() {
+        let mut w = World::new(tiny(ProtocolKind::Gossip, 200, 10));
+        w.run();
+        let ad = w.ad_ids()[0];
+        // Expired ads are pruned lazily (on the next round that touches
+        // them), so holder counts at the horizon are only a sanity signal.
+        let holders = w.holders(ad);
+        assert!(holders > 20, "only {holders} holders");
+    }
+}

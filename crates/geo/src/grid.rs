@@ -1,0 +1,235 @@
+//! A uniform spatial hash grid for disk (range) queries.
+//!
+//! The radio medium must answer "which peers are within transmission
+//! range `r` of the sender?" for every broadcast. With up to ~1000 peers
+//! and tens of thousands of broadcasts per run, a flat scan is wasteful;
+//! this grid buckets points into square cells of side `cell` and visits
+//! only the cells overlapping the query disk.
+//!
+//! The grid is rebuilt from a position snapshot (positions move every
+//! instant, but a snapshot taken at the query time is exact). Keys are
+//! caller-supplied `u32` ids.
+
+use crate::point::Point;
+use std::collections::HashMap;
+
+/// A uniform grid over points keyed by `u32` ids.
+#[derive(Debug, Clone)]
+pub struct UniformGrid {
+    cell: f64,
+    cells: HashMap<(i32, i32), Vec<(u32, Point)>>,
+    len: usize,
+}
+
+impl UniformGrid {
+    /// Create an empty grid with the given cell side length (metres).
+    /// A good choice is the query radius itself (e.g. the radio range).
+    pub fn new(cell: f64) -> Self {
+        assert!(cell > 0.0, "grid cell must be positive");
+        UniformGrid {
+            cell,
+            cells: HashMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Build a grid from an iterator of `(id, position)` pairs.
+    pub fn build(cell: f64, items: impl IntoIterator<Item = (u32, Point)>) -> Self {
+        let mut g = UniformGrid::new(cell);
+        for (id, p) in items {
+            g.insert(id, p);
+        }
+        g
+    }
+
+    #[inline]
+    fn key(&self, p: Point) -> (i32, i32) {
+        (
+            (p.x / self.cell).floor() as i32,
+            (p.y / self.cell).floor() as i32,
+        )
+    }
+
+    /// Insert a point. Ids need not be unique; duplicates are all returned
+    /// by queries.
+    pub fn insert(&mut self, id: u32, p: Point) {
+        debug_assert!(p.is_finite(), "non-finite point");
+        self.cells.entry(self.key(p)).or_default().push((id, p));
+        self.len += 1;
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remove all points but keep the allocated cell map.
+    pub fn clear(&mut self) {
+        for v in self.cells.values_mut() {
+            v.clear();
+        }
+        self.len = 0;
+    }
+
+    /// Collect the ids of all points within `radius` of `center`
+    /// (inclusive boundary) into `out`, which is cleared first.
+    ///
+    /// Results are sorted by id so queries are deterministic regardless of
+    /// hash-map iteration order — determinism matters because the
+    /// simulator hands these lists to seeded RNG consumers.
+    pub fn query_disk_into(&self, center: Point, radius: f64, out: &mut Vec<(u32, Point)>) {
+        out.clear();
+        if radius < 0.0 {
+            return;
+        }
+        let r_sq = radius * radius;
+        let min_cx = ((center.x - radius) / self.cell).floor() as i32;
+        let max_cx = ((center.x + radius) / self.cell).floor() as i32;
+        let min_cy = ((center.y - radius) / self.cell).floor() as i32;
+        let max_cy = ((center.y + radius) / self.cell).floor() as i32;
+        for cx in min_cx..=max_cx {
+            for cy in min_cy..=max_cy {
+                if let Some(bucket) = self.cells.get(&(cx, cy)) {
+                    for &(id, p) in bucket {
+                        if center.distance_sq(p) <= r_sq + crate::EPS {
+                            out.push((id, p));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable_by_key(|&(id, _)| id);
+    }
+
+    /// Convenience wrapper around [`Self::query_disk_into`].
+    pub fn query_disk(&self, center: Point, radius: f64) -> Vec<(u32, Point)> {
+        let mut out = Vec::new();
+        self.query_disk_into(center, radius, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_grid_returns_nothing() {
+        let g = UniformGrid::new(10.0);
+        assert!(g.is_empty());
+        assert!(g.query_disk(Point::new(0.0, 0.0), 100.0).is_empty());
+    }
+
+    #[test]
+    fn finds_points_in_radius() {
+        let g = UniformGrid::build(
+            10.0,
+            vec![
+                (1, Point::new(0.0, 0.0)),
+                (2, Point::new(5.0, 0.0)),
+                (3, Point::new(30.0, 0.0)),
+                (4, Point::new(0.0, 9.0)),
+            ],
+        );
+        assert_eq!(g.len(), 4);
+        let hits: Vec<u32> = g
+            .query_disk(Point::new(0.0, 0.0), 10.0)
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(hits, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        let g = UniformGrid::build(5.0, vec![(7, Point::new(10.0, 0.0))]);
+        let hits = g.query_disk(Point::new(0.0, 0.0), 10.0);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 7);
+    }
+
+    #[test]
+    fn negative_coordinates_work() {
+        let g = UniformGrid::build(
+            7.0,
+            vec![(1, Point::new(-3.0, -4.0)), (2, Point::new(-100.0, -100.0))],
+        );
+        let hits = g.query_disk(Point::ORIGIN, 5.0);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 1);
+    }
+
+    #[test]
+    fn clear_retains_capacity_but_removes_points() {
+        let mut g = UniformGrid::build(10.0, vec![(1, Point::ORIGIN)]);
+        g.clear();
+        assert!(g.is_empty());
+        assert!(g.query_disk(Point::ORIGIN, 1.0).is_empty());
+        g.insert(2, Point::ORIGIN);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn results_are_sorted_by_id() {
+        let mut g = UniformGrid::new(10.0);
+        for id in (0..50).rev() {
+            g.insert(id, Point::new(id as f64 * 0.1, 0.0));
+        }
+        let hits = g.query_disk(Point::new(2.5, 0.0), 100.0);
+        let ids: Vec<u32> = hits.iter().map(|&(id, _)| id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+        assert_eq!(ids.len(), 50);
+    }
+
+    #[test]
+    fn negative_radius_yields_nothing() {
+        let g = UniformGrid::build(10.0, vec![(1, Point::ORIGIN)]);
+        assert!(g.query_disk(Point::ORIGIN, -1.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "grid cell must be positive")]
+    fn zero_cell_rejected() {
+        let _ = UniformGrid::new(0.0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Grid queries agree exactly with a brute-force linear scan.
+        #[test]
+        fn matches_brute_force(
+            pts in proptest::collection::vec((-500.0..500.0f64, -500.0..500.0f64), 0..200),
+            qx in -500.0..500.0f64,
+            qy in -500.0..500.0f64,
+            r in 0.0..400.0f64,
+            cell in 1.0..300.0f64,
+        ) {
+            let items: Vec<(u32, Point)> = pts
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| (i as u32, Point::new(x, y)))
+                .collect();
+            let g = UniformGrid::build(cell, items.clone());
+            let center = Point::new(qx, qy);
+            let got: Vec<u32> = g.query_disk(center, r).into_iter().map(|(i, _)| i).collect();
+            let mut want: Vec<u32> = items
+                .iter()
+                .filter(|(_, p)| center.distance_sq(*p) <= r * r + crate::EPS)
+                .map(|&(i, _)| i)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

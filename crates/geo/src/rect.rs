@@ -1,0 +1,131 @@
+//! Axis-aligned rectangles — the simulation field.
+
+use crate::point::Point;
+
+/// An axis-aligned rectangle `[min.x, max.x] x [min.y, max.y]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    pub min: Point,
+    pub max: Point,
+}
+
+impl Rect {
+    /// Construct from two corner points; coordinates are sorted, so the
+    /// corners may be given in any order.
+    pub fn new(a: Point, b: Point) -> Self {
+        Rect {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// A `w x h` rectangle with its lower-left corner at the origin —
+    /// the paper's 5000 m x 5000 m field is `Rect::with_size(5000.0, 5000.0)`.
+    pub fn with_size(w: f64, h: f64) -> Self {
+        assert!(w >= 0.0 && h >= 0.0, "negative rectangle size");
+        Rect {
+            min: Point::ORIGIN,
+            max: Point::new(w, h),
+        }
+    }
+
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// Length of the diagonal — an upper bound on any trip inside the field.
+    #[inline]
+    pub fn diagonal(&self) -> f64 {
+        self.min.distance(self.max)
+    }
+
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x - crate::EPS
+            && p.x <= self.max.x + crate::EPS
+            && p.y >= self.min.y - crate::EPS
+            && p.y <= self.max.y + crate::EPS
+    }
+
+    /// Clamp `p` into the rectangle.
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
+    }
+
+    /// Map a pair of unit-interval coordinates to a point in the rectangle.
+    /// `(0,0)` maps to `min`, `(1,1)` to `max`. This is how mobility models
+    /// draw uniform waypoints from their RNG.
+    pub fn at_fraction(&self, fx: f64, fy: f64) -> Point {
+        Point::new(
+            self.min.x + self.width() * fx,
+            self.min.y + self.height() * fy,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_sorted() {
+        let r = Rect::new(Point::new(5.0, -1.0), Point::new(1.0, 3.0));
+        assert_eq!(r.min, Point::new(1.0, -1.0));
+        assert_eq!(r.max, Point::new(5.0, 3.0));
+        assert_eq!(r.width(), 4.0);
+        assert_eq!(r.height(), 4.0);
+        assert_eq!(r.area(), 16.0);
+    }
+
+    #[test]
+    fn with_size_and_center() {
+        let r = Rect::with_size(5000.0, 5000.0);
+        assert_eq!(r.center(), Point::new(2500.0, 2500.0));
+        assert_eq!(r.area(), 25_000_000.0);
+        assert!((r.diagonal() - 5000.0 * 2.0_f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contains_and_clamp() {
+        let r = Rect::with_size(10.0, 10.0);
+        assert!(r.contains(Point::new(0.0, 0.0)));
+        assert!(r.contains(Point::new(10.0, 10.0)));
+        assert!(!r.contains(Point::new(10.1, 5.0)));
+        assert_eq!(r.clamp(Point::new(-3.0, 12.0)), Point::new(0.0, 10.0));
+        assert_eq!(r.clamp(Point::new(5.0, 5.0)), Point::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn at_fraction_covers_rect() {
+        let r = Rect::new(Point::new(2.0, 4.0), Point::new(6.0, 8.0));
+        assert_eq!(r.at_fraction(0.0, 0.0), r.min);
+        assert_eq!(r.at_fraction(1.0, 1.0), r.max);
+        assert_eq!(r.at_fraction(0.5, 0.5), r.center());
+        assert!(r.contains(r.at_fraction(0.3, 0.9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative rectangle size")]
+    fn with_size_rejects_negative() {
+        let _ = Rect::with_size(-1.0, 1.0);
+    }
+}

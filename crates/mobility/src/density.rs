@@ -1,0 +1,224 @@
+//! Spatial density estimation over a fleet.
+//!
+//! Random Waypoint famously concentrates its stationary distribution
+//! toward the field centre (≈1.8–2x the uniform density at the middle of
+//! a square field). That bias matters here: the paper's advertising area
+//! sits at the field centre, so in-area peer counts — and with them
+//! message counts and delivery saturation — exceed the uniform-density
+//! back-of-envelope by the same factor. This module measures the effect
+//! instead of assuming it (see `EXPERIMENTS.md`, saturation note).
+
+use crate::fleet::Fleet;
+use ia_des::{SimDuration, SimTime};
+use ia_geo::{Circle, Rect};
+
+/// A cell-grid census of node positions over a time window.
+#[derive(Debug, Clone)]
+pub struct DensityMap {
+    cells: Vec<f64>,
+    nx: usize,
+    ny: usize,
+    area: Rect,
+    samples: usize,
+}
+
+impl DensityMap {
+    /// Sample every node's position every `step` over `[from, to]` and
+    /// histogram into an `nx x ny` grid over `area`.
+    pub fn measure(
+        fleet: &Fleet,
+        area: Rect,
+        nx: usize,
+        ny: usize,
+        from: SimTime,
+        to: SimTime,
+        step: SimDuration,
+    ) -> Self {
+        assert!(nx >= 1 && ny >= 1, "empty grid");
+        assert!(!step.is_zero() && to > from, "empty sampling window");
+        let mut cells = vec![0.0; nx * ny];
+        let mut t = from;
+        let mut samples = 0;
+        while t <= to {
+            for (_, tr) in fleet.iter() {
+                let p = tr.position_at(t);
+                if !area.contains(p) {
+                    continue;
+                }
+                let fx = ((p.x - area.min.x) / area.width()).clamp(0.0, 1.0 - 1e-12);
+                let fy = ((p.y - area.min.y) / area.height()).clamp(0.0, 1.0 - 1e-12);
+                let ix = (fx * nx as f64) as usize;
+                let iy = (fy * ny as f64) as usize;
+                cells[iy * nx + ix] += 1.0;
+            }
+            samples += 1;
+            t += step;
+        }
+        DensityMap {
+            cells,
+            nx,
+            ny,
+            area,
+            samples,
+        }
+    }
+
+    /// Mean node count per cell per sample, normalised so that a
+    /// perfectly uniform fleet gives 1.0 in every cell.
+    pub fn relative_density(&self, ix: usize, iy: usize) -> f64 {
+        let total: f64 = self.cells.iter().sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let uniform = total / (self.nx * self.ny) as f64;
+        self.cells[iy * self.nx + ix] / uniform
+    }
+
+    /// Relative density of the centre cell(s) vs the four corner cells —
+    /// the Random Waypoint bias factor.
+    pub fn center_to_corner_ratio(&self) -> f64 {
+        let centre = self.relative_density(self.nx / 2, self.ny / 2);
+        let corners = [
+            self.relative_density(0, 0),
+            self.relative_density(self.nx - 1, 0),
+            self.relative_density(0, self.ny - 1),
+            self.relative_density(self.nx - 1, self.ny - 1),
+        ];
+        let corner_mean: f64 = corners.iter().sum::<f64>() / 4.0;
+        if corner_mean == 0.0 {
+            f64::INFINITY
+        } else {
+            centre / corner_mean
+        }
+    }
+
+    /// Mean number of nodes inside `circle` per sample — the expected
+    /// in-area population the protocols actually see.
+    pub fn mean_population_in(
+        fleet: &Fleet,
+        circle: &Circle,
+        from: SimTime,
+        to: SimTime,
+        step: SimDuration,
+    ) -> f64 {
+        assert!(!step.is_zero() && to > from, "empty sampling window");
+        let mut total = 0usize;
+        let mut samples = 0usize;
+        let mut t = from;
+        while t <= to {
+            total += fleet
+                .iter()
+                .filter(|(_, tr)| circle.contains(tr.position_at(t)))
+                .count();
+            samples += 1;
+            t += step;
+        }
+        total as f64 / samples as f64
+    }
+
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    pub fn area(&self) -> Rect {
+        self.area
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_waypoint::RandomWaypoint;
+    use crate::stationary::Stationary;
+    use crate::{Fleet, MobilityModel, Trajectory};
+    use ia_des::SimRng;
+    use ia_geo::Point;
+
+    fn rwp_fleet(n: usize) -> Fleet {
+        let model = RandomWaypoint::paper(Rect::with_size(5000.0, 5000.0), 10.0, 5.0);
+        Fleet::generate(&model, n, 7, SimTime::ZERO, SimTime::from_secs(2000.0))
+    }
+
+    #[test]
+    fn rwp_concentrates_at_the_centre() {
+        // The well-known RWP bias: the centre holds noticeably more than
+        // the corners once the walk has mixed.
+        let fleet = rwp_fleet(300);
+        let map = DensityMap::measure(
+            &fleet,
+            Rect::with_size(5000.0, 5000.0),
+            5,
+            5,
+            SimTime::from_secs(200.0), // skip the uniform initial placement
+            SimTime::from_secs(2000.0),
+            SimDuration::from_secs(20.0),
+        );
+        let ratio = map.center_to_corner_ratio();
+        assert!(ratio > 2.0, "centre/corner ratio only {ratio:.2}");
+        assert!(map.relative_density(2, 2) > 1.2);
+        assert!(map.samples() > 50);
+    }
+
+    #[test]
+    fn in_area_population_exceeds_uniform_estimate() {
+        // Uniform estimate for the paper's area: n * pi R^2 / field ~
+        // 12.6% of peers; RWP bias pushes it well above.
+        let fleet = rwp_fleet(300);
+        let circle = Circle::new(Point::new(2500.0, 2500.0), 1000.0);
+        let pop = DensityMap::mean_population_in(
+            &fleet,
+            &circle,
+            SimTime::from_secs(200.0),
+            SimTime::from_secs(2000.0),
+            SimDuration::from_secs(20.0),
+        );
+        let uniform = 300.0 * std::f64::consts::PI * 1000.0_f64.powi(2) / 5000.0_f64.powi(2);
+        assert!(
+            pop > 1.3 * uniform,
+            "in-area population {pop:.1} vs uniform estimate {uniform:.1}"
+        );
+    }
+
+    #[test]
+    fn stationary_uniform_fleet_is_flat() {
+        let model = Stationary::uniform_in(Rect::with_size(1000.0, 1000.0));
+        let mut trajectories = Vec::new();
+        for i in 0..2000u64 {
+            let mut rng = SimRng::derive(i, 3);
+            trajectories.push(model.trajectory(&mut rng, SimTime::ZERO, SimTime::from_secs(10.0)));
+        }
+        let fleet = Fleet::from_trajectories(trajectories);
+        let map = DensityMap::measure(
+            &fleet,
+            Rect::with_size(1000.0, 1000.0),
+            2,
+            2,
+            SimTime::ZERO,
+            SimTime::from_secs(10.0),
+            SimDuration::from_secs(5.0),
+        );
+        let ratio = map.center_to_corner_ratio();
+        assert!((0.7..1.4).contains(&ratio), "uniform fleet ratio {ratio}");
+    }
+
+    #[test]
+    fn empty_region_yields_zero_density() {
+        let fleet = Fleet::from_trajectories(vec![Trajectory::stationary(
+            Point::new(10.0, 10.0),
+            SimTime::ZERO,
+            SimTime::from_secs(10.0),
+        )]);
+        let map = DensityMap::measure(
+            &fleet,
+            Rect::with_size(1000.0, 1000.0),
+            4,
+            4,
+            SimTime::ZERO,
+            SimTime::from_secs(10.0),
+            SimDuration::from_secs(5.0),
+        );
+        // The single node sits in cell (0,0): all density concentrated.
+        assert_eq!(map.relative_density(3, 3), 0.0);
+        assert!(map.relative_density(0, 0) > 15.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! A fleet: one trajectory per node, with bulk queries.
+
+use crate::model::MobilityModel;
+use crate::trajectory::Trajectory;
+use ia_des::{rng::stream, SimDuration, SimRng, SimTime};
+use ia_geo::{Point, Vector};
+
+/// All node movement plans for one scenario.
+///
+/// Node ids are dense `u32` indices (`0..len`), matching the ids used by
+/// the radio medium's spatial grid.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    trajectories: Vec<Trajectory>,
+}
+
+impl Fleet {
+    /// Build a fleet of `n` nodes from `model`, deriving one independent
+    /// RNG stream per node from `master_seed` (so fleets are reproducible
+    /// and node `i`'s path does not depend on `n`).
+    pub fn generate<M: MobilityModel>(
+        model: &M,
+        n: usize,
+        master_seed: u64,
+        start: SimTime,
+        end: SimTime,
+    ) -> Self {
+        let trajectories = (0..n)
+            .map(|i| {
+                let mut rng = SimRng::derive(master_seed, stream::MOBILITY | i as u64);
+                model.trajectory(&mut rng, start, end)
+            })
+            .collect();
+        Fleet { trajectories }
+    }
+
+    /// Build a fleet from explicit trajectories (e.g. a mixed fleet with a
+    /// stationary issuer plus mobile peers).
+    pub fn from_trajectories(trajectories: Vec<Trajectory>) -> Self {
+        assert!(!trajectories.is_empty(), "empty fleet");
+        Fleet { trajectories }
+    }
+
+    pub fn len(&self) -> usize {
+        self.trajectories.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.trajectories.is_empty()
+    }
+
+    pub fn trajectory(&self, node: u32) -> &Trajectory {
+        &self.trajectories[node as usize]
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Trajectory)> {
+        self.trajectories
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as u32, t))
+    }
+
+    /// Exact position of `node` at `t`.
+    pub fn position(&self, node: u32, t: SimTime) -> Point {
+        self.trajectory(node).position_at(t)
+    }
+
+    /// Exact velocity of `node` at `t`.
+    pub fn velocity(&self, node: u32, t: SimTime) -> Vector {
+        self.trajectory(node).velocity_at(t)
+    }
+
+    /// The paper's GPS-style velocity estimate from two consecutive fixes.
+    pub fn estimated_velocity(&self, node: u32, t: SimTime, dt: SimDuration) -> Vector {
+        self.trajectory(node).estimated_velocity(t, dt)
+    }
+
+    /// Snapshot of every node's position at `t` (index = node id).
+    pub fn positions_at(&self, t: SimTime) -> Vec<Point> {
+        self.trajectories.iter().map(|tr| tr.position_at(t)).collect()
+    }
+
+    /// Maximum speed over all moving legs in the fleet — the `V_max`
+    /// feeding the paper's `DIS = V_max * round_time` constraint.
+    pub fn max_speed(&self) -> f64 {
+        self.trajectories
+            .iter()
+            .flat_map(|tr| tr.legs().iter())
+            .map(|leg| leg.velocity().norm())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_waypoint::RandomWaypoint;
+    use crate::stationary::Stationary;
+    use ia_geo::Rect;
+
+    fn fleet(n: usize, seed: u64) -> Fleet {
+        let model = RandomWaypoint::paper(Rect::with_size(1000.0, 1000.0), 10.0, 5.0);
+        Fleet::generate(&model, n, seed, SimTime::ZERO, SimTime::from_secs(100.0))
+    }
+
+    #[test]
+    fn generates_n_trajectories() {
+        let f = fleet(20, 1);
+        assert_eq!(f.len(), 20);
+        assert!(!f.is_empty());
+        assert_eq!(f.positions_at(SimTime::from_secs(50.0)).len(), 20);
+    }
+
+    #[test]
+    fn node_paths_are_independent_of_fleet_size() {
+        let small = fleet(5, 42);
+        let big = fleet(50, 42);
+        for node in 0..5 {
+            assert_eq!(small.trajectory(node), big.trajectory(node));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = fleet(10, 7);
+        let b = fleet(10, 7);
+        for node in 0..10 {
+            assert_eq!(a.trajectory(node), b.trajectory(node));
+        }
+        let c = fleet(10, 8);
+        assert_ne!(a.trajectory(0), c.trajectory(0));
+    }
+
+    #[test]
+    fn mixed_fleet_from_trajectories() {
+        let issuer = Stationary::at(Point::new(500.0, 500.0));
+        let mut rng = SimRng::from_master(3);
+        let t0 = SimTime::ZERO;
+        let t1 = SimTime::from_secs(100.0);
+        let model = RandomWaypoint::paper(Rect::with_size(1000.0, 1000.0), 10.0, 5.0);
+        let mut rng2 = SimRng::from_master(4);
+        let f = Fleet::from_trajectories(vec![
+            issuer.trajectory(&mut rng, t0, t1),
+            model.trajectory(&mut rng2, t0, t1),
+        ]);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.position(0, SimTime::from_secs(30.0)), Point::new(500.0, 500.0));
+        assert_eq!(f.velocity(0, SimTime::from_secs(30.0)), Vector::ZERO);
+    }
+
+    #[test]
+    fn max_speed_within_model_bounds() {
+        let f = fleet(20, 5);
+        let vmax = f.max_speed();
+        assert!(vmax > 5.0 && vmax <= 15.0 + 1e-6, "vmax={vmax}");
+    }
+
+    #[test]
+    fn estimated_velocity_close_to_exact_mid_leg() {
+        let f = fleet(5, 9);
+        let t = SimTime::from_secs(20.0);
+        for node in 0..5 {
+            let exact = f.velocity(node, t);
+            let est = f.estimated_velocity(node, t, SimDuration::from_millis(100));
+            // Mid-leg (no waypoint change in the window) the estimate is
+            // exact; across a waypoint it is a blend — allow slack.
+            assert!((est - exact).norm() <= exact.norm() + 20.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty fleet")]
+    fn empty_fleet_rejected() {
+        let _ = Fleet::from_trajectories(vec![]);
+    }
+}

@@ -1,0 +1,392 @@
+//! Piecewise-linear trajectories.
+
+use ia_des::{SimDuration, SimTime};
+use ia_geo::{Circle, Point, Segment, Vector};
+
+/// One constant-velocity leg of a trajectory. A pause is a leg whose
+/// endpoints coincide.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Leg {
+    pub start_time: SimTime,
+    pub end_time: SimTime,
+    pub from: Point,
+    pub to: Point,
+}
+
+impl Leg {
+    pub fn new(start_time: SimTime, end_time: SimTime, from: Point, to: Point) -> Self {
+        assert!(end_time >= start_time, "leg ends before it starts");
+        Leg {
+            start_time,
+            end_time,
+            from,
+            to,
+        }
+    }
+
+    /// A stationary leg at `p` over `[start, end]`.
+    pub fn pause(start_time: SimTime, end_time: SimTime, p: Point) -> Self {
+        Leg::new(start_time, end_time, p, p)
+    }
+
+    pub fn duration(&self) -> SimDuration {
+        self.end_time - self.start_time
+    }
+
+    /// Is this a zero-displacement (pause) leg?
+    pub fn is_pause(&self) -> bool {
+        self.from == self.to
+    }
+
+    /// Constant velocity over the leg (zero for pauses and instant legs).
+    pub fn velocity(&self) -> Vector {
+        let dt = self.duration().as_secs();
+        if dt <= 0.0 {
+            return Vector::ZERO;
+        }
+        (self.to - self.from) / dt
+    }
+
+    /// Position at time `t`, clamped to the leg's interval.
+    pub fn position_at(&self, t: SimTime) -> Point {
+        if t <= self.start_time {
+            return self.from;
+        }
+        if t >= self.end_time {
+            return self.to;
+        }
+        let dt = self.duration().as_secs();
+        if dt <= 0.0 {
+            return self.from;
+        }
+        let frac = t.since(self.start_time).as_secs() / dt;
+        self.from.lerp(self.to, frac)
+    }
+
+    /// The spatial segment this leg traces.
+    pub fn segment(&self) -> Segment {
+        Segment::new(self.from, self.to)
+    }
+}
+
+/// A node's full movement plan: contiguous legs covering
+/// `[start_time, end_time]`. Before the first leg the node sits at the
+/// initial point; after the last leg it sits at the final point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    legs: Vec<Leg>,
+}
+
+impl Trajectory {
+    /// Build from legs.
+    ///
+    /// # Panics
+    /// Panics if `legs` is empty, times are not contiguous
+    /// (`leg[i].end_time == leg[i+1].start_time`) or positions are not
+    /// continuous (`leg[i].to == leg[i+1].from`).
+    pub fn new(legs: Vec<Leg>) -> Self {
+        assert!(!legs.is_empty(), "trajectory needs at least one leg");
+        for w in legs.windows(2) {
+            assert_eq!(
+                w[0].end_time, w[1].start_time,
+                "legs must be time-contiguous"
+            );
+            assert!(
+                w[0].to.distance(w[1].from) < 1e-6,
+                "legs must be position-continuous: {} vs {}",
+                w[0].to,
+                w[1].from
+            );
+        }
+        Trajectory { legs }
+    }
+
+    /// A trajectory that never moves.
+    pub fn stationary(p: Point, start: SimTime, end: SimTime) -> Self {
+        Trajectory::new(vec![Leg::pause(start, end, p)])
+    }
+
+    pub fn legs(&self) -> &[Leg] {
+        &self.legs
+    }
+
+    pub fn start_time(&self) -> SimTime {
+        self.legs.first().unwrap().start_time
+    }
+
+    pub fn end_time(&self) -> SimTime {
+        self.legs.last().unwrap().end_time
+    }
+
+    pub fn start_position(&self) -> Point {
+        self.legs.first().unwrap().from
+    }
+
+    pub fn end_position(&self) -> Point {
+        self.legs.last().unwrap().to
+    }
+
+    /// Index of the leg active at `t` (clamped to the first/last leg).
+    fn leg_index_at(&self, t: SimTime) -> usize {
+        if t <= self.start_time() {
+            return 0;
+        }
+        if t >= self.end_time() {
+            return self.legs.len() - 1;
+        }
+        // Binary search on start_time: the active leg is the last one
+        // starting at or before t.
+        match self
+            .legs
+            .binary_search_by(|leg| leg.start_time.cmp(&t))
+        {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        }
+    }
+
+    /// Exact position at time `t` (clamped outside the plan's interval).
+    pub fn position_at(&self, t: SimTime) -> Point {
+        self.legs[self.leg_index_at(t)].position_at(t)
+    }
+
+    /// Exact instantaneous velocity at time `t` (zero outside the plan).
+    pub fn velocity_at(&self, t: SimTime) -> Vector {
+        if t < self.start_time() || t > self.end_time() {
+            return Vector::ZERO;
+        }
+        self.legs[self.leg_index_at(t)].velocity()
+    }
+
+    /// The paper derives a peer's motion direction "from two consecutive
+    /// recorded locations"; this reproduces that estimate with fixes at
+    /// `t - dt` and `t` (falls back to zero for a degenerate window).
+    pub fn estimated_velocity(&self, t: SimTime, dt: SimDuration) -> Vector {
+        let secs = dt.as_secs();
+        if secs <= 0.0 {
+            return Vector::ZERO;
+        }
+        let prev = self.position_at(t - dt);
+        let cur = self.position_at(t);
+        (cur - prev) / secs
+    }
+
+    /// Total path length (sum of leg displacements).
+    pub fn path_length(&self) -> f64 {
+        self.legs.iter().map(|l| l.segment().length()).sum()
+    }
+
+    /// All intervals `[enter, exit]` (absolute times) during which the
+    /// node is inside `circle`, restricted to `[from, to]`, merged when
+    /// adjacent legs keep the node inside.
+    pub fn disk_intervals(
+        &self,
+        circle: &Circle,
+        from: SimTime,
+        to: SimTime,
+    ) -> Vec<(SimTime, SimTime)> {
+        let mut raw: Vec<(SimTime, SimTime)> = Vec::new();
+        for leg in &self.legs {
+            if leg.end_time < from || leg.start_time > to {
+                continue;
+            }
+            let transit = if leg.is_pause() || leg.duration().is_zero() {
+                if circle.contains(leg.from) {
+                    Some((leg.start_time, leg.end_time))
+                } else {
+                    None
+                }
+            } else {
+                match leg.segment().disk_transit(circle) {
+                    ia_geo::segment::DiskTransit::Outside => None,
+                    ia_geo::segment::DiskTransit::Inside => {
+                        Some((leg.start_time, leg.end_time))
+                    }
+                    ia_geo::segment::DiskTransit::Crossing { enter, exit } => {
+                        let dur = leg.duration();
+                        Some((
+                            leg.start_time + dur.mul_f64(enter),
+                            leg.start_time + dur.mul_f64(exit),
+                        ))
+                    }
+                }
+            };
+            if let Some((a, b)) = transit {
+                let a = a.max(from);
+                let b = b.min(to);
+                if a <= b {
+                    raw.push((a, b));
+                }
+            }
+        }
+        // Merge intervals that touch (consecutive legs both inside).
+        let mut merged: Vec<(SimTime, SimTime)> = Vec::with_capacity(raw.len());
+        for (a, b) in raw {
+            match merged.last_mut() {
+                Some((_, last_b)) if a <= *last_b + SimDuration::from_micros(1) => {
+                    *last_b = (*last_b).max(b);
+                }
+                _ => merged.push((a, b)),
+            }
+        }
+        merged
+    }
+
+    /// First instant in `[from, to]` at which the node is inside `circle`.
+    pub fn first_disk_entry(&self, circle: &Circle, from: SimTime, to: SimTime) -> Option<SimTime> {
+        self.disk_intervals(circle, from, to)
+            .first()
+            .map(|&(a, _)| a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn straight_line() -> Trajectory {
+        // Move (0,0) -> (100,0) over [0, 10], then pause to 20.
+        Trajectory::new(vec![
+            Leg::new(t(0.0), t(10.0), Point::new(0.0, 0.0), Point::new(100.0, 0.0)),
+            Leg::pause(t(10.0), t(20.0), Point::new(100.0, 0.0)),
+        ])
+    }
+
+    #[test]
+    fn position_interpolates_linearly() {
+        let tr = straight_line();
+        assert_eq!(tr.position_at(t(0.0)), Point::new(0.0, 0.0));
+        assert_eq!(tr.position_at(t(5.0)), Point::new(50.0, 0.0));
+        assert_eq!(tr.position_at(t(10.0)), Point::new(100.0, 0.0));
+        assert_eq!(tr.position_at(t(15.0)), Point::new(100.0, 0.0));
+    }
+
+    #[test]
+    fn position_clamps_outside_plan() {
+        let tr = straight_line();
+        assert_eq!(tr.position_at(t(0.0) - SimDuration::from_secs(5.0)), Point::new(0.0, 0.0));
+        assert_eq!(tr.position_at(t(100.0)), Point::new(100.0, 0.0));
+    }
+
+    #[test]
+    fn velocity_per_leg() {
+        let tr = straight_line();
+        assert_eq!(tr.velocity_at(t(5.0)), Vector::new(10.0, 0.0));
+        assert_eq!(tr.velocity_at(t(15.0)), Vector::ZERO);
+        assert_eq!(tr.velocity_at(t(25.0)), Vector::ZERO);
+    }
+
+    #[test]
+    fn estimated_velocity_matches_exact_on_straight_leg() {
+        let tr = straight_line();
+        let est = tr.estimated_velocity(t(5.0), SimDuration::from_secs(1.0));
+        assert!((est.x - 10.0).abs() < 1e-9);
+        assert!((est.y).abs() < 1e-9);
+        assert_eq!(tr.estimated_velocity(t(5.0), SimDuration::ZERO), Vector::ZERO);
+    }
+
+    #[test]
+    fn path_length_sums_legs() {
+        let tr = straight_line();
+        assert_eq!(tr.path_length(), 100.0);
+    }
+
+    #[test]
+    fn disk_intervals_on_crossing() {
+        let tr = straight_line();
+        let c = Circle::new(Point::new(50.0, 0.0), 10.0);
+        let iv = tr.disk_intervals(&c, t(0.0), t(20.0));
+        assert_eq!(iv.len(), 1);
+        let (a, b) = iv[0];
+        assert!((a.as_secs() - 4.0).abs() < 1e-6);
+        assert!((b.as_secs() - 6.0).abs() < 1e-6);
+        assert_eq!(tr.first_disk_entry(&c, t(0.0), t(20.0)), Some(a));
+        assert_eq!(tr.first_disk_entry(&c, t(7.0), t(20.0)), None);
+    }
+
+    #[test]
+    fn disk_intervals_merge_across_legs() {
+        // Two legs passing straight through the disk; the pause inside the
+        // disk must merge with the moving leg.
+        let tr = Trajectory::new(vec![
+            Leg::new(t(0.0), t(10.0), Point::new(0.0, 0.0), Point::new(50.0, 0.0)),
+            Leg::pause(t(10.0), t(20.0), Point::new(50.0, 0.0)),
+            Leg::new(t(20.0), t(30.0), Point::new(50.0, 0.0), Point::new(100.0, 0.0)),
+        ]);
+        let c = Circle::new(Point::new(50.0, 0.0), 10.0);
+        let iv = tr.disk_intervals(&c, t(0.0), t(30.0));
+        assert_eq!(iv.len(), 1, "{iv:?}");
+        let (a, b) = iv[0];
+        assert!((a.as_secs() - 8.0).abs() < 1e-6);
+        assert!((b.as_secs() - 22.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn disk_intervals_window_restriction() {
+        let tr = straight_line();
+        let c = Circle::new(Point::new(50.0, 0.0), 10.0);
+        let iv = tr.disk_intervals(&c, t(5.0), t(20.0));
+        assert_eq!(iv.len(), 1);
+        assert!((iv[0].0.as_secs() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pause_outside_disk_yields_nothing() {
+        let tr = Trajectory::stationary(Point::new(500.0, 500.0), t(0.0), t(100.0));
+        let c = Circle::new(Point::ORIGIN, 10.0);
+        assert!(tr.disk_intervals(&c, t(0.0), t(100.0)).is_empty());
+    }
+
+    #[test]
+    fn stationary_inside_disk_covers_window() {
+        let tr = Trajectory::stationary(Point::new(1.0, 1.0), t(0.0), t(100.0));
+        let c = Circle::new(Point::ORIGIN, 10.0);
+        let iv = tr.disk_intervals(&c, t(10.0), t(50.0));
+        assert_eq!(iv, vec![(t(10.0), t(50.0))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-contiguous")]
+    fn non_contiguous_times_rejected() {
+        let _ = Trajectory::new(vec![
+            Leg::new(t(0.0), t(5.0), Point::ORIGIN, Point::new(1.0, 0.0)),
+            Leg::new(t(6.0), t(7.0), Point::new(1.0, 0.0), Point::new(2.0, 0.0)),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "position-continuous")]
+    fn teleporting_legs_rejected() {
+        let _ = Trajectory::new(vec![
+            Leg::new(t(0.0), t(5.0), Point::ORIGIN, Point::new(1.0, 0.0)),
+            Leg::new(t(5.0), t(7.0), Point::new(9.0, 0.0), Point::new(2.0, 0.0)),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one leg")]
+    fn empty_trajectory_rejected() {
+        let _ = Trajectory::new(vec![]);
+    }
+
+    #[test]
+    fn leg_index_binary_search_is_consistent() {
+        let mut legs = Vec::new();
+        let mut p = Point::ORIGIN;
+        for i in 0..50 {
+            let q = Point::new((i + 1) as f64, 0.0);
+            legs.push(Leg::new(t(i as f64), t((i + 1) as f64), p, q));
+            p = q;
+        }
+        let tr = Trajectory::new(legs);
+        for i in 0..500 {
+            let ti = t(i as f64 * 0.1);
+            let pos = tr.position_at(ti);
+            assert!((pos.x - ti.as_secs()).abs() < 1e-9, "at {ti}: {pos}");
+        }
+    }
+}

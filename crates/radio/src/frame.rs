@@ -1,0 +1,44 @@
+//! Frame delivery records.
+
+use ia_des::SimTime;
+use ia_geo::Point;
+
+/// One successful delivery of a broadcast to one receiver.
+///
+/// The medium returns these for the world to schedule as receive events;
+/// sender metadata travels with the delivery because Optimized
+/// Gossiping-2 needs the broadcaster's position at transmission time to
+/// compute the overlap fraction `p` and the approach angle `theta`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Delivery {
+    /// Receiving node.
+    pub to: u32,
+    /// Arrival instant (transmission time plus jitter).
+    pub arrival: SimTime,
+    /// Sender's position when the frame was transmitted.
+    pub sender_pos: Point,
+    /// Sender id.
+    pub from: u32,
+    /// Distance between sender and receiver at transmission time, metres.
+    pub distance: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_is_plain_data() {
+        let d = Delivery {
+            to: 3,
+            arrival: SimTime::from_secs(1.0),
+            sender_pos: Point::new(1.0, 2.0),
+            from: 9,
+            distance: 42.0,
+        };
+        let e = d;
+        assert_eq!(d, e);
+        assert_eq!(e.to, 3);
+        assert_eq!(e.from, 9);
+    }
+}

@@ -1,0 +1,30 @@
+//! The wireless broadcast medium.
+//!
+//! Substitutes for NS-2's 802.11 stack. The model is a *unit-disk
+//! broadcast channel with delivery jitter and optional loss*: a broadcast
+//! by node `s` at time `t` reaches every node within `range` metres of
+//! `s`'s position at `t` (promiscuously — overhearing is what powers the
+//! paper's Optimized Gossiping-2), after a small per-receiver delay drawn
+//! from a configurable jitter window. This preserves everything the
+//! paper's conclusions rest on — connectivity/partitioning, broadcast
+//! reach, overhearing, and message counts — without modelling 802.11
+//! micro-behaviour. Loss models (i.i.d. and distance-dependent) are
+//! provided for robustness experiments.
+//!
+//! Performance: neighbour lookup uses a spatial hash grid that is rebuilt
+//! lazily at a bounded staleness and then *exact-checked* against true
+//! positions, so results are exact while broadcasts stay `O(neighbours)`.
+
+pub mod config;
+pub mod contention;
+pub mod frame;
+pub mod loss;
+pub mod medium;
+pub mod stats;
+
+pub use config::RadioConfig;
+pub use contention::Contention;
+pub use frame::Delivery;
+pub use loss::LossModel;
+pub use medium::Medium;
+pub use stats::TrafficStats;

@@ -1,0 +1,92 @@
+//! Packet-loss models.
+
+use ia_des::SimRng;
+
+/// Per-(broadcast, receiver) loss model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossModel {
+    /// Perfect channel (the paper's evaluation setting).
+    None,
+    /// Independent loss with fixed probability.
+    Bernoulli(f64),
+    /// Distance-dependent loss: reliable up to `reliable_frac * range`,
+    /// then the loss probability ramps linearly to 1.0 at `range` —
+    /// a coarse stand-in for SNR falloff near the edge of coverage.
+    DistanceRamp { reliable_frac: f64 },
+}
+
+impl LossModel {
+    /// Probability that a frame sent over `distance` (with channel range
+    /// `range`) is *lost*.
+    pub fn loss_probability(&self, distance: f64, range: f64) -> f64 {
+        match *self {
+            LossModel::None => 0.0,
+            LossModel::Bernoulli(p) => p.clamp(0.0, 1.0),
+            LossModel::DistanceRamp { reliable_frac } => {
+                let knee = reliable_frac.clamp(0.0, 1.0) * range;
+                if distance <= knee {
+                    0.0
+                } else if distance >= range {
+                    1.0
+                } else {
+                    (distance - knee) / (range - knee)
+                }
+            }
+        }
+    }
+
+    /// Sample whether a frame is dropped.
+    pub fn drops(&self, distance: f64, range: f64, rng: &mut SimRng) -> bool {
+        rng.chance(self.loss_probability(distance, range))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_drops() {
+        let mut rng = SimRng::from_master(1);
+        for _ in 0..100 {
+            assert!(!LossModel::None.drops(100.0, 250.0, &mut rng));
+        }
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut rng = SimRng::from_master(2);
+        let m = LossModel::Bernoulli(0.25);
+        let drops = (0..100_000).filter(|_| m.drops(0.0, 250.0, &mut rng)).count();
+        let f = drops as f64 / 100_000.0;
+        assert!((f - 0.25).abs() < 0.01, "f={f}");
+    }
+
+    #[test]
+    fn bernoulli_clamps() {
+        assert_eq!(LossModel::Bernoulli(7.0).loss_probability(0.0, 1.0), 1.0);
+        assert_eq!(LossModel::Bernoulli(-1.0).loss_probability(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn distance_ramp_shape() {
+        let m = LossModel::DistanceRamp { reliable_frac: 0.8 };
+        let r = 250.0;
+        assert_eq!(m.loss_probability(0.0, r), 0.0);
+        assert_eq!(m.loss_probability(200.0, r), 0.0);
+        assert!((m.loss_probability(225.0, r) - 0.5).abs() < 1e-12);
+        assert_eq!(m.loss_probability(250.0, r), 1.0);
+        assert_eq!(m.loss_probability(300.0, r), 1.0);
+    }
+
+    #[test]
+    fn distance_ramp_monotone() {
+        let m = LossModel::DistanceRamp { reliable_frac: 0.5 };
+        let mut last = -1.0;
+        for i in 0..=50 {
+            let p = m.loss_probability(i as f64 * 5.0, 250.0);
+            assert!(p >= last);
+            last = p;
+        }
+    }
+}

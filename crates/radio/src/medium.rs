@@ -1,0 +1,331 @@
+//! The broadcast medium itself.
+
+use crate::config::RadioConfig;
+use crate::contention::{airtime, Contention, TxLog};
+use crate::frame::Delivery;
+use crate::stats::TrafficStats;
+use ia_des::{SimRng, SimTime};
+use ia_mobility::Fleet;
+use ia_geo::UniformGrid;
+
+/// A shared wireless channel over a [`Fleet`] of mobile nodes.
+///
+/// The medium owns the traffic statistics and a lazily rebuilt spatial
+/// grid; the simulation world calls [`Medium::broadcast`] and schedules
+/// the returned [`Delivery`] records as receive events.
+pub struct Medium {
+    config: RadioConfig,
+    stats: TrafficStats,
+    grid: Option<(SimTime, UniformGrid)>,
+    scratch: Vec<(u32, ia_geo::Point)>,
+    tx_log: TxLog,
+}
+
+impl Medium {
+    pub fn new(config: RadioConfig) -> Self {
+        config.validate();
+        Medium {
+            config,
+            stats: TrafficStats::new(),
+            grid: None,
+            scratch: Vec::new(),
+            tx_log: TxLog::new(),
+        }
+    }
+
+    pub fn config(&self) -> &RadioConfig {
+        &self.config
+    }
+
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Ensure the neighbour grid snapshot is no staler than
+    /// `config.grid_refresh` relative to `now`.
+    fn refresh_grid(&mut self, fleet: &Fleet, now: SimTime) -> SimTime {
+        let needs_rebuild = match &self.grid {
+            Some((built_at, _)) => now.since(*built_at) > self.config.grid_refresh,
+            None => true,
+        };
+        if needs_rebuild {
+            let grid = UniformGrid::build(
+                self.config.range.max(1.0),
+                fleet
+                    .iter()
+                    .map(|(id, tr)| (id, tr.position_at(now))),
+            );
+            self.grid = Some((now, grid));
+        }
+        self.grid.as_ref().unwrap().0
+    }
+
+    /// Broadcast a frame of `bytes` bytes from `src` at time `now`.
+    ///
+    /// Returns one [`Delivery`] per receiver that actually hears the frame
+    /// (in deterministic node-id order), with independent arrival jitter.
+    /// The sender never receives its own frame. Exactness: candidates come
+    /// from the (possibly stale) grid with a widened radius, then are
+    /// filtered against exact positions at `now`.
+    pub fn broadcast(
+        &mut self,
+        fleet: &Fleet,
+        now: SimTime,
+        src: u32,
+        bytes: usize,
+        rng: &mut SimRng,
+    ) -> Vec<Delivery> {
+        let built_at = self.refresh_grid(fleet, now);
+        let staleness = now.since(built_at).as_secs();
+        // Both the sender and the candidates may have moved since the
+        // snapshot, so widen by twice the covered distance.
+        let margin = 2.0 * self.config.max_speed * staleness;
+        let sender_pos = fleet.position(src, now);
+        let (_, grid) = self.grid.as_ref().unwrap();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        grid.query_disk_into(sender_pos, self.config.range + margin, &mut scratch);
+
+        let frame_airtime = airtime(bytes, self.config.bitrate_bps);
+        let mut deliveries = Vec::new();
+        let mut dropped = 0usize;
+        let mut collided = 0usize;
+        for &(id, _snap_pos) in scratch.iter() {
+            if id == src {
+                continue;
+            }
+            let true_pos = fleet.position(id, now);
+            let distance = sender_pos.distance(true_pos);
+            if distance > self.config.range {
+                continue;
+            }
+            if self.config.contention == Contention::Aloha
+                && self.tx_log.collides(
+                    now,
+                    sender_pos,
+                    true_pos,
+                    self.config.range,
+                    frame_airtime,
+                )
+            {
+                collided += 1;
+                continue;
+            }
+            if self.config.loss.drops(distance, self.config.range, rng) {
+                dropped += 1;
+                continue;
+            }
+            let jitter_micros = rng.range_u64(
+                self.config.delay_min.as_micros(),
+                self.config.delay_max.as_micros() + 1,
+            );
+            deliveries.push(Delivery {
+                to: id,
+                arrival: now + ia_des::SimDuration::from_micros(jitter_micros),
+                sender_pos,
+                from: src,
+                distance,
+            });
+        }
+        self.scratch = scratch;
+        if self.config.contention == Contention::Aloha {
+            self.tx_log.prune(now);
+            self.tx_log.record(now, sender_pos);
+        }
+        self.stats
+            .record_broadcast(bytes, deliveries.len(), dropped, collided);
+        deliveries
+    }
+
+    /// Nodes currently within range of `node` (excluding itself), in id
+    /// order — a helper for diagnostics and density measurements.
+    pub fn neighbors(&mut self, fleet: &Fleet, now: SimTime, node: u32) -> Vec<u32> {
+        let built_at = self.refresh_grid(fleet, now);
+        let staleness = now.since(built_at).as_secs();
+        let margin = 2.0 * self.config.max_speed * staleness;
+        let pos = fleet.position(node, now);
+        let (_, grid) = self.grid.as_ref().unwrap();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        grid.query_disk_into(pos, self.config.range + margin, &mut scratch);
+        let out = scratch
+            .iter()
+            .filter(|&&(id, _)| id != node)
+            .filter(|&&(id, _)| fleet.position(id, now).distance(pos) <= self.config.range)
+            .map(|&(id, _)| id)
+            .collect();
+        self.scratch = scratch;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::LossModel;
+    use ia_des::SimDuration;
+    use ia_geo::Point;
+    use ia_mobility::Trajectory;
+
+    fn static_fleet(points: &[(f64, f64)]) -> Fleet {
+        let end = SimTime::from_secs(1000.0);
+        Fleet::from_trajectories(
+            points
+                .iter()
+                .map(|&(x, y)| Trajectory::stationary(Point::new(x, y), SimTime::ZERO, end))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn broadcast_reaches_only_nodes_in_range() {
+        let fleet = static_fleet(&[(0.0, 0.0), (100.0, 0.0), (249.0, 0.0), (251.0, 0.0)]);
+        let mut medium = Medium::new(RadioConfig::paper());
+        let mut rng = SimRng::from_master(1);
+        let ds = medium.broadcast(&fleet, SimTime::from_secs(1.0), 0, 100, &mut rng);
+        let to: Vec<u32> = ds.iter().map(|d| d.to).collect();
+        assert_eq!(to, vec![1, 2]);
+        assert_eq!(medium.stats().messages, 1);
+        assert_eq!(medium.stats().receptions, 2);
+        assert_eq!(medium.stats().bytes_sent, 100);
+    }
+
+    #[test]
+    fn sender_does_not_hear_itself() {
+        let fleet = static_fleet(&[(0.0, 0.0), (1.0, 0.0)]);
+        let mut medium = Medium::new(RadioConfig::paper());
+        let mut rng = SimRng::from_master(2);
+        let ds = medium.broadcast(&fleet, SimTime::ZERO, 0, 10, &mut rng);
+        assert!(ds.iter().all(|d| d.to != 0));
+    }
+
+    #[test]
+    fn arrival_jitter_within_bounds_and_after_send() {
+        let fleet = static_fleet(&[(0.0, 0.0), (10.0, 0.0)]);
+        let mut medium = Medium::new(RadioConfig::paper());
+        let mut rng = SimRng::from_master(3);
+        let now = SimTime::from_secs(5.0);
+        for _ in 0..100 {
+            let ds = medium.broadcast(&fleet, now, 0, 10, &mut rng);
+            let d = ds[0];
+            assert!(d.arrival >= now + SimDuration::from_millis(1));
+            assert!(d.arrival <= now + SimDuration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn delivery_carries_sender_context() {
+        let fleet = static_fleet(&[(0.0, 0.0), (30.0, 40.0)]);
+        let mut medium = Medium::new(RadioConfig::paper());
+        let mut rng = SimRng::from_master(4);
+        let ds = medium.broadcast(&fleet, SimTime::ZERO, 0, 10, &mut rng);
+        assert_eq!(ds[0].from, 0);
+        assert_eq!(ds[0].sender_pos, Point::new(0.0, 0.0));
+        assert!((ds[0].distance - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn isolated_sender_counts_dead_air() {
+        let fleet = static_fleet(&[(0.0, 0.0), (5000.0, 5000.0)]);
+        let mut medium = Medium::new(RadioConfig::paper());
+        let mut rng = SimRng::from_master(5);
+        let ds = medium.broadcast(&fleet, SimTime::ZERO, 0, 10, &mut rng);
+        assert!(ds.is_empty());
+        assert_eq!(medium.stats().dead_air, 1);
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let fleet = static_fleet(&[(0.0, 0.0), (10.0, 0.0), (20.0, 0.0)]);
+        let cfg = RadioConfig::paper().with_loss(LossModel::Bernoulli(1.0));
+        let mut medium = Medium::new(cfg);
+        let mut rng = SimRng::from_master(6);
+        let ds = medium.broadcast(&fleet, SimTime::ZERO, 0, 10, &mut rng);
+        assert!(ds.is_empty());
+        assert_eq!(medium.stats().drops, 2);
+    }
+
+    #[test]
+    fn stale_grid_still_exact_for_moving_nodes() {
+        // Node 1 moves away from node 0 at 20 m/s starting inside range.
+        // Even with a 1 s refresh, deliveries must track true positions.
+        let end = SimTime::from_secs(100.0);
+        let moving = Trajectory::new(vec![ia_mobility::Leg::new(
+            SimTime::ZERO,
+            end,
+            Point::new(240.0, 0.0),
+            Point::new(240.0 + 20.0 * 100.0, 0.0),
+        )]);
+        let fleet = Fleet::from_trajectories(vec![
+            Trajectory::stationary(Point::ORIGIN, SimTime::ZERO, end),
+            moving,
+        ]);
+        let cfg = RadioConfig::paper().with_max_speed(20.0);
+        let mut medium = Medium::new(cfg);
+        let mut rng = SimRng::from_master(7);
+        // t=0: in range (240 m).
+        assert_eq!(
+            medium
+                .broadcast(&fleet, SimTime::ZERO, 0, 10, &mut rng)
+                .len(),
+            1
+        );
+        // t=0.9: 258 m, out of range, but the grid snapshot is from t=0.
+        assert_eq!(
+            medium
+                .broadcast(&fleet, SimTime::from_secs(0.9), 0, 10, &mut rng)
+                .len(),
+            0
+        );
+    }
+
+    #[test]
+    fn stale_grid_finds_nodes_that_moved_into_range() {
+        // Node 1 starts out of range and moves in; a naive stale grid
+        // would miss it, the widened query must not.
+        let end = SimTime::from_secs(100.0);
+        let moving = Trajectory::new(vec![ia_mobility::Leg::new(
+            SimTime::ZERO,
+            end,
+            Point::new(270.0, 0.0),
+            Point::new(270.0 - 30.0 * 100.0, 0.0),
+        )]);
+        let fleet = Fleet::from_trajectories(vec![
+            Trajectory::stationary(Point::ORIGIN, SimTime::ZERO, end),
+            moving,
+        ]);
+        let cfg = RadioConfig::paper().with_max_speed(30.0);
+        let mut medium = Medium::new(cfg);
+        let mut rng = SimRng::from_master(8);
+        // Build the grid at t=0 (node 1 at 270 m, out of range).
+        assert_eq!(
+            medium
+                .broadcast(&fleet, SimTime::ZERO, 0, 10, &mut rng)
+                .len(),
+            0
+        );
+        // t=0.9 s: node 1 is at 243 m — in range; grid is still the t=0 one.
+        assert_eq!(
+            medium
+                .broadcast(&fleet, SimTime::from_secs(0.9), 0, 10, &mut rng)
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn neighbors_matches_broadcast_reach() {
+        let fleet = static_fleet(&[(0.0, 0.0), (100.0, 0.0), (500.0, 0.0)]);
+        let mut medium = Medium::new(RadioConfig::paper());
+        assert_eq!(medium.neighbors(&fleet, SimTime::ZERO, 0), vec![1]);
+        assert_eq!(medium.neighbors(&fleet, SimTime::ZERO, 2), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn deliveries_are_in_node_id_order() {
+        let fleet = static_fleet(&[(0.0, 0.0), (10.0, 0.0), (20.0, 0.0), (30.0, 0.0)]);
+        let mut medium = Medium::new(RadioConfig::paper());
+        let mut rng = SimRng::from_master(9);
+        let ds = medium.broadcast(&fleet, SimTime::ZERO, 2, 10, &mut rng);
+        let to: Vec<u32> = ds.iter().map(|d| d.to).collect();
+        assert_eq!(to, vec![0, 1, 3]);
+    }
+}

@@ -1,0 +1,326 @@
+//! A bundle of `F` FM sketches with the averaged estimator (formula 6).
+
+use crate::fm::FmSketch;
+use crate::hash::HashFamily;
+use crate::PHI;
+
+/// `F` FM sketches of `L` bits each, plus the shared hash family.
+///
+/// This is the structure piggybacked on every advertisement message; its
+/// wire size is `F * L` bits (the paper's example budget is 256 bits).
+/// Formula 6 gives the distinct-count estimate:
+///
+/// ```text
+/// rank = (1 / phi) * 2^( sum_i Min(FM_i) / F )
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FmBundle {
+    sketches: Vec<FmSketch>,
+    family: HashFamily,
+    family_seed: u64,
+}
+
+impl FmBundle {
+    /// An empty bundle of `f` sketches of `l` bits, hashed with the family
+    /// derived from `family_seed`. All peers in a deployment must use the
+    /// same seed (a protocol constant).
+    pub fn new(family_seed: u64, f: usize, l: u8) -> Self {
+        assert!(f > 0, "need at least one sketch");
+        FmBundle {
+            sketches: vec![FmSketch::new(l); f],
+            family: HashFamily::new(family_seed, f),
+            family_seed,
+        }
+    }
+
+    /// The paper's example configuration: 32 sketches x 8 bits = 256 bits.
+    /// (8-bit sketches saturate around ~100 distinct items; the default
+    /// protocol configuration in `ia-core` uses 16x16 for more headroom at
+    /// the same 256-bit budget.)
+    pub fn paper_example(family_seed: u64) -> Self {
+        FmBundle::new(family_seed, 32, 8)
+    }
+
+    pub fn num_sketches(&self) -> usize {
+        self.sketches.len()
+    }
+
+    pub fn sketch_len(&self) -> u8 {
+        self.sketches[0].len()
+    }
+
+    /// Wire size in bits.
+    pub fn size_bits(&self) -> usize {
+        self.num_sketches() * self.sketch_len() as usize
+    }
+
+    /// Wire size in whole bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.size_bits().div_ceil(8)
+    }
+
+    /// Record `item` (e.g. a user id) in every sketch. Duplicate inserts
+    /// are no-ops by construction.
+    pub fn insert(&mut self, item: u64) {
+        for (i, s) in self.sketches.iter_mut().enumerate() {
+            s.insert_rho(self.family.rho(i, item));
+        }
+    }
+
+    /// Formula 6: the estimated number of distinct items inserted.
+    pub fn estimate(&self) -> f64 {
+        let sum: u32 = self.sketches.iter().map(|s| s.min_zero_bit() as u32).sum();
+        let mean = sum as f64 / self.num_sketches() as f64;
+        2f64.powf(mean) / PHI
+    }
+
+    /// The estimate rounded to a whole rank, never below the number of
+    /// set "levels" (so a single insert yields rank >= 1).
+    pub fn rank(&self) -> u64 {
+        self.estimate().round() as u64
+    }
+
+    /// Duplicate-insensitive merge (bitwise OR per sketch).
+    ///
+    /// # Panics
+    /// Panics if the bundles have different shapes or hash families.
+    pub fn merge(&mut self, other: &FmBundle) {
+        assert_eq!(
+            self.family, other.family,
+            "merging bundles from different hash families"
+        );
+        for (a, b) in self.sketches.iter_mut().zip(other.sketches.iter()) {
+            a.merge(b);
+        }
+    }
+
+    /// Would merging `other` change this bundle? The paper's Algorithm 5
+    /// uses rank-before vs rank-after to detect "already processed"; this
+    /// predicate answers it exactly at the bit level.
+    pub fn covers(&self, other: &FmBundle) -> bool {
+        self.family == other.family
+            && self
+                .sketches
+                .iter()
+                .zip(other.sketches.iter())
+                .all(|(a, b)| a.covers(b))
+    }
+
+    /// Standard error of the FM estimator, roughly `0.78 / sqrt(F)`
+    /// (Flajolet & Martin 1985). Useful for choosing `F`.
+    pub fn standard_error(&self) -> f64 {
+        0.78 / (self.num_sketches() as f64).sqrt()
+    }
+
+    /// The paper's sizing rule: with `L = O(log n + log F + log(1/delta))`
+    /// bits, `|estimate - n| < epsilon * n` with probability `>= 1 - delta`,
+    /// `epsilon = O(sqrt(log(1/delta) / F))`. This helper returns the
+    /// minimum `L` for a target population `n` with a safety margin.
+    pub fn required_bits(n_max: u64, f: usize, delta: f64) -> u8 {
+        assert!(f > 0 && (0.0..1.0).contains(&delta));
+        let l = (n_max.max(2) as f64).log2() + (f.max(2) as f64).log2() + (1.0 / delta).log2();
+        (l.ceil() as u8).clamp(4, 64)
+    }
+
+    /// Access the raw sketches (e.g. for wire encoding).
+    pub fn sketches(&self) -> &[FmSketch] {
+        &self.sketches
+    }
+
+    /// The family seed this bundle hashes with (for wire encoding; all
+    /// peers share it as a protocol constant).
+    pub fn family_seed(&self) -> u64 {
+        self.family_seed
+    }
+
+    /// Rebuild a bundle from decoded wire parts.
+    ///
+    /// # Panics
+    /// Panics on an empty sketch list or mixed sketch lengths.
+    pub fn from_parts(family_seed: u64, sketches: Vec<FmSketch>) -> Self {
+        assert!(!sketches.is_empty(), "need at least one sketch");
+        let l = sketches[0].len();
+        assert!(
+            sketches.iter().all(|s| s.len() == l),
+            "mixed sketch lengths"
+        );
+        let family = HashFamily::new(family_seed, sketches.len());
+        FmBundle {
+            sketches,
+            family,
+            family_seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_bundle_estimates_near_one() {
+        let b = FmBundle::new(1, 16, 16);
+        // Empty: all Min(FM) = 0 -> estimate = 1/phi ~ 1.29.
+        assert!((b.estimate() - 1.0 / PHI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sizes_reported_correctly() {
+        let b = FmBundle::paper_example(1);
+        assert_eq!(b.num_sketches(), 32);
+        assert_eq!(b.sketch_len(), 8);
+        assert_eq!(b.size_bits(), 256);
+        assert_eq!(b.size_bytes(), 32);
+    }
+
+    #[test]
+    fn duplicate_inserts_do_not_change_estimate() {
+        let mut b = FmBundle::new(2, 16, 16);
+        for u in 0..50u64 {
+            b.insert(u);
+        }
+        let est = b.estimate();
+        for _ in 0..10 {
+            for u in 0..50u64 {
+                b.insert(u);
+            }
+        }
+        assert_eq!(b.estimate(), est);
+    }
+
+    #[test]
+    fn estimate_tracks_distinct_count_within_error() {
+        // F = 64 gives ~10% standard error; check a few magnitudes.
+        for &n in &[100u64, 1000, 10_000] {
+            let mut b = FmBundle::new(3, 64, 24);
+            for u in 0..n {
+                b.insert(u.wrapping_mul(0x9E3779B97F4A7C15)); // arbitrary ids
+            }
+            let est = b.estimate();
+            let ratio = est / n as f64;
+            assert!(
+                (0.6..1.6).contains(&ratio),
+                "n={n}, est={est:.1}, ratio={ratio:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = FmBundle::new(4, 32, 16);
+        let mut b = FmBundle::new(4, 32, 16);
+        let mut union = FmBundle::new(4, 32, 16);
+        for u in 0..100u64 {
+            a.insert(u);
+            union.insert(u);
+        }
+        for u in 50..150u64 {
+            b.insert(u);
+            union.insert(u);
+        }
+        a.merge(&b);
+        assert_eq!(a, union);
+        assert!(a.covers(&b));
+    }
+
+    #[test]
+    fn covers_detects_new_information() {
+        let mut a = FmBundle::new(5, 16, 16);
+        let mut b = a.clone();
+        assert!(a.covers(&b));
+        b.insert(42);
+        // With 16 sketches it is (overwhelmingly) likely that inserting a
+        // fresh item sets at least one new bit somewhere.
+        assert!(!a.covers(&b));
+        a.merge(&b);
+        assert!(a.covers(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "different hash families")]
+    fn merging_different_families_panics() {
+        let mut a = FmBundle::new(1, 8, 8);
+        let b = FmBundle::new(2, 8, 8);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn rank_is_rounded_estimate() {
+        let mut b = FmBundle::new(6, 32, 16);
+        b.insert(1);
+        assert_eq!(b.rank(), b.estimate().round() as u64);
+        assert!(b.rank() >= 1);
+    }
+
+    #[test]
+    fn standard_error_shrinks_with_f() {
+        let small = FmBundle::new(1, 4, 16);
+        let large = FmBundle::new(1, 64, 16);
+        assert!(large.standard_error() < small.standard_error());
+        assert!((large.standard_error() - 0.78 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn required_bits_grows_with_population() {
+        let small = FmBundle::required_bits(100, 16, 0.05);
+        let large = FmBundle::required_bits(1_000_000, 16, 0.05);
+        assert!(large > small);
+        assert!(large <= 64);
+        // The ia-core default (16 bits) must suffice for the paper's
+        // 1000-peer scenarios at delta = 0.25.
+        assert!(FmBundle::required_bits(1000, 16, 0.25) <= 16);
+    }
+
+    #[test]
+    fn deterministic_across_instances_with_same_seed() {
+        let mut a = FmBundle::new(9, 16, 16);
+        let mut b = FmBundle::new(9, 16, 16);
+        for u in [5u64, 17, 99, 12345] {
+            a.insert(u);
+            b.insert(u);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.estimate(), b.estimate());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Merging is commutative and idempotent at the bundle level.
+        #[test]
+        fn merge_commutative_idempotent(
+            xs in proptest::collection::vec(any::<u64>(), 0..50),
+            ys in proptest::collection::vec(any::<u64>(), 0..50),
+        ) {
+            let mut a = FmBundle::new(11, 8, 16);
+            let mut b = FmBundle::new(11, 8, 16);
+            for &x in &xs { a.insert(x); }
+            for &y in &ys { b.insert(y); }
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            prop_assert_eq!(&ab, &ba);
+            let mut abb = ab.clone();
+            abb.merge(&b);
+            prop_assert_eq!(&ab, &abb);
+        }
+
+        /// The estimate never decreases as items are inserted.
+        #[test]
+        fn estimate_monotone(xs in proptest::collection::vec(any::<u64>(), 1..100)) {
+            let mut b = FmBundle::new(13, 8, 16);
+            let mut last = b.estimate();
+            for &x in &xs {
+                b.insert(x);
+                let e = b.estimate();
+                prop_assert!(e >= last - 1e-9);
+                last = e;
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Flajolet–Martin (FM) probabilistic distinct counting.
+//!
+//! The paper ranks an advertisement by the number of *distinct* users
+//! whose interests it matches (formula 5), estimated without duplicate
+//! counting by piggybacking a fixed-size bundle of FM bitmap sketches on
+//! the advertisement message (§III-E). This crate implements:
+//!
+//! * [`HashFamily`] — `F` independently seeded 64-bit hash functions;
+//! * [`FmSketch`] — a single `L`-bit FM bitmap with the classic
+//!   `rho`/`min`-statistic estimator;
+//! * [`FmBundle`] — `F` sketches with the averaged estimator of
+//!   formula 6, `E = 2^(sum min_i / F) / phi`, `phi ≈ 0.77351`;
+//! * merge (bitwise OR — the duplicate-insensitivity the paper relies on)
+//!   and the `(epsilon, delta)` sizing rule quoted in the paper.
+
+pub mod bundle;
+pub mod fm;
+pub mod hll;
+pub mod hash;
+
+pub use bundle::FmBundle;
+pub use fm::FmSketch;
+pub use hll::HyperLogLog;
+pub use hash::HashFamily;
+
+/// Flajolet–Martin's magic constant `phi`: the expected bias factor of
+/// the `2^R` estimator.
+pub const PHI: f64 = 0.77351;

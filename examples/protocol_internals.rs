@@ -1,0 +1,123 @@
+//! Driving the protocol state machines directly — no simulator.
+//!
+//! `ia-core`'s protocols are plain state machines: you feed them receive
+//! events and timer wake-ups with an explicit [`PeerContext`], and they
+//! answer with [`Action`]s. This example walks one Optimized Gossiping
+//! peer through the interesting transitions by hand, printing what the
+//! protocol decides at each step — useful both as API documentation and
+//! as a debugging harness when porting the protocol to real radios.
+//!
+//! Run with: `cargo run --release --example protocol_internals`
+
+use instant_ads::core::protocol::Gossip;
+use instant_ads::core::{
+    Action, AdId, AdMessage, Advertisement, GossipParams, PeerContext, PeerId, Protocol, RxMeta,
+    UserProfile,
+};
+use instant_ads::des::{SimDuration, SimRng, SimTime};
+use instant_ads::geo::{Point, Vector};
+
+fn show(step: &str, actions: &[Action]) {
+    println!("{step}:");
+    if actions.is_empty() {
+        println!("    (no actions)");
+    }
+    for a in actions {
+        match a {
+            Action::Broadcast(m) => println!(
+                "    broadcast {} ({} bytes, rank {})",
+                m.ad.id,
+                m.bytes(),
+                m.ad.sketches.rank()
+            ),
+            Action::ScheduleRound(t) => println!("    schedule round at {t}"),
+            Action::ScheduleEntry { ad, at } => println!("    schedule entry timer for {ad} at {at}"),
+            Action::Accepted { ad } => println!("    accepted {ad} (first receipt)"),
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let params = GossipParams::paper();
+    // This peer is interested in topic 1 — it will rank the ad up.
+    let mut peer = Gossip::optimized(params.clone(), UserProfile::new(4242, vec![1]));
+    let mut rng = SimRng::from_master(1);
+
+    let ad = Advertisement::new(
+        AdId::new(PeerId(7), 0),
+        Point::new(2500.0, 2500.0),
+        SimTime::from_secs(100.0),
+        1000.0,
+        SimDuration::from_secs(1800.0),
+        vec![1],
+        200,
+        &params,
+    );
+    println!(
+        "advertisement: {} issued at {} (R = {:.0} m, D = {:.0} s)\n",
+        ad.id,
+        ad.issue_pos,
+        ad.radius,
+        ad.duration.as_secs()
+    );
+
+    // The peer sits 600 m from the issuing location, heading towards it.
+    let my_pos = Point::new(3100.0, 2500.0);
+    let my_vel = Vector::new(-10.0, 0.0);
+    fn ctx_at(now: f64, pos: Point, vel: Vector, rng: &mut SimRng) -> PeerContext<'_> {
+        PeerContext {
+            now: SimTime::from_secs(now),
+            position: pos,
+            velocity: vel,
+            rng,
+        }
+    }
+
+    // 1. Coming online: Optimized Gossiping uses per-entry timers, so no
+    //    global round is scheduled.
+    let a = peer.on_start(&mut ctx_at(100.0, my_pos, my_vel, &mut rng));
+    show("on_start (600 m inside the area)", &a);
+
+    // 2. First receipt: accept, rank (topic matches), schedule the
+    //    entry's own gossip timer one round out.
+    let msg = AdMessage::gossip(ad.clone());
+    let meta = RxMeta {
+        sender_pos: Point::new(3150.0, 2500.0),
+        from: 3,
+        distance: 50.0,
+    };
+    let a = peer.on_receive(&mut ctx_at(105.0, my_pos, my_vel, &mut rng), &msg, &meta);
+    show("on_receive (new ad from a neighbour 50 m away)", &a);
+
+    // 3. Overhearing a duplicate from a *very close* neighbour: formula 4
+    //    postpones this entry's next gossip (the closer and the more
+    //    head-on, the longer).
+    let close = RxMeta {
+        sender_pos: Point::new(3102.0, 2500.0),
+        from: 4,
+        distance: 2.0,
+    };
+    let a = peer.on_receive(&mut ctx_at(106.0, my_pos, my_vel, &mut rng), &msg, &close);
+    show("on_receive (duplicate overheard from 2 m away)", &a);
+
+    // 4. The original timer fires but has been postponed: stale, no-op.
+    let a = peer.on_entry_timer(&mut ctx_at(110.0, my_pos, my_vel, &mut rng), ad.id);
+    show("on_entry_timer (stale wake-up after postponement)", &a);
+
+    // 5. The postponed timer fires: the entry gossips with the formula-1/3
+    //    probability at this distance and reschedules itself.
+    let a = peer.on_entry_timer(&mut ctx_at(125.0, my_pos, my_vel, &mut rng), ad.id);
+    show("on_entry_timer (live wake-up)", &a);
+
+    // 6. Inspect the cached copy: our user id is in the sketches now.
+    let copy = peer.cached_ad(ad.id).expect("cached");
+    println!(
+        "cached copy: rank {} (was {}), R = {:.1} m (was {:.0}), D = {:.1} s",
+        copy.sketches.rank(),
+        ad.sketches.rank(),
+        copy.radius,
+        ad.radius,
+        copy.duration.as_secs()
+    );
+}

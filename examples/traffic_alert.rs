@@ -1,0 +1,65 @@
+//! "More general type of information advertising" (paper §I): an urban
+//! traffic alert disseminated on a Manhattan street grid over a lossy
+//! channel.
+//!
+//! An accident at a downtown intersection triggers an alert with a 1.2 km
+//! radius and a 10-minute validity. Vehicles move along streets (not
+//! Random Waypoint), and 10 % of frames are lost. The example compares
+//! the three headline protocols and shows that the optimized gossiping
+//! conclusions survive street-constrained mobility and packet loss.
+//!
+//! Run with: `cargo run --release --example traffic_alert`
+
+use instant_ads::core::ProtocolKind;
+use instant_ads::des::{SimDuration, SimTime};
+use instant_ads::experiments::scenario::MobilityKind;
+use instant_ads::experiments::{run_scenario, AdSpec, Scenario};
+use instant_ads::geo::Point;
+use instant_ads::radio::LossModel;
+
+fn main() {
+    println!("urban traffic alert — Manhattan grid, 10% frame loss\n");
+    println!(
+        "{:<24} {:>10} {:>10} {:>10}",
+        "protocol", "rate_pct", "time_s", "messages"
+    );
+    println!("{}", "-".repeat(58));
+
+    for kind in [
+        ProtocolKind::Flooding,
+        ProtocolKind::Gossip,
+        ProtocolKind::OptGossip,
+    ] {
+        let mut scenario = Scenario::paper(kind, 500)
+            .with_seed(99)
+            .with_mobility(MobilityKind::Manhattan)
+            .with_speed(14.0, 4.0); // urban vehicle speeds
+        scenario.radio = scenario.radio.clone().with_loss(LossModel::Bernoulli(0.1));
+        scenario.ads[0] = AdSpec {
+            issue_pos: Point::new(2500.0, 2500.0), // downtown intersection
+            issue_time: SimTime::from_secs(20.0),
+            radius: 1200.0,
+            duration: SimDuration::from_secs(600.0),
+            topics: vec![42], // "traffic" topic
+            payload_bytes: 80,
+        };
+        scenario.sim_time = SimDuration::from_secs(640.0);
+
+        let result = run_scenario(&scenario);
+        let ad = &result.ads[0];
+        println!(
+            "{:<24} {:>10.2} {:>10.2} {:>10}",
+            kind.label(),
+            ad.delivery_rate,
+            ad.mean_delivery_time,
+            result.messages()
+        );
+    }
+
+    println!();
+    println!("note: on a clustered street grid with loss, flooding's waves");
+    println!("stall at partitions (low rate, long waits) while gossiping's");
+    println!("store-&-forward keeps coverage high; optimized gossiping");
+    println!("retains most of that robustness at a fraction of gossiping's");
+    println!("messages (see the `robustness` experiment binary).");
+}

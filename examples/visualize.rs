@@ -1,0 +1,103 @@
+//! ASCII visualisation of an advertisement spreading and dying.
+//!
+//! Steps the simulation world through an advertisement's life cycle and
+//! renders the field as a character grid at interesting instants:
+//!
+//! * `.`  empty space
+//! * `o`  a mobile peer without the ad
+//! * `#`  a peer carrying the ad
+//! * `+`  the advertising-area boundary (initial radius)
+//! * `@`  the issuer
+//!
+//! Watch the ad saturate the area, leak a little past the rim (the
+//! sparse-outside property), and vanish at expiry.
+//!
+//! Run with: `cargo run --release --example visualize`
+
+use instant_ads::core::ProtocolKind;
+use instant_ads::des::SimTime;
+use instant_ads::experiments::{Scenario, World};
+use instant_ads::geo::{Circle, Point};
+
+const COLS: usize = 72;
+const ROWS: usize = 28;
+
+fn render(world: &World, t: SimTime) {
+    let scenario = world.scenario();
+    let area = scenario.area;
+    let ad = world.ad_ids()[0];
+    let spec = &scenario.ads[0];
+    let circle = Circle::new(spec.issue_pos, spec.radius);
+
+    let mut grid = vec![vec!['.'; COLS]; ROWS];
+    // Area boundary ring.
+    for k in 0..720 {
+        let theta = k as f64 * std::f64::consts::TAU / 720.0;
+        let p = Point::new(
+            circle.center.x + circle.radius * theta.cos(),
+            circle.center.y + circle.radius * theta.sin(),
+        );
+        if let Some((r, c)) = to_cell(p, &area) {
+            grid[r][c] = '+';
+        }
+    }
+    // Peers; holders overwrite the ring, the issuer overwrites everything.
+    for (i, (pos, holds, online)) in world.snapshot(ad, t).iter().enumerate() {
+        let Some((r, c)) = to_cell(*pos, &area) else {
+            continue;
+        };
+        let is_issuer = i >= scenario.n_peers;
+        grid[r][c] = if is_issuer {
+            if *online {
+                '@'
+            } else {
+                'x'
+            }
+        } else if *holds {
+            '#'
+        } else if grid[r][c] == '.' {
+            'o'
+        } else {
+            grid[r][c]
+        };
+    }
+
+    let holders = world.holders(ad);
+    let msgs = world.medium().stats().messages;
+    println!(
+        "t = {:6.0} s | {} holders | {} messages",
+        t.as_secs(),
+        holders,
+        msgs
+    );
+    for row in grid {
+        println!("  {}", row.into_iter().collect::<String>());
+    }
+    println!();
+}
+
+fn to_cell(p: Point, area: &instant_ads::geo::Rect) -> Option<(usize, usize)> {
+    if !area.contains(p) {
+        return None;
+    }
+    let c = ((p.x - area.min.x) / area.width() * COLS as f64) as usize;
+    let r = ((p.y - area.min.y) / area.height() * ROWS as f64) as usize;
+    Some((r.min(ROWS - 1), c.min(COLS - 1)))
+}
+
+fn main() {
+    let scenario = Scenario::paper(ProtocolKind::OptGossip, 250).with_seed(11);
+    println!(
+        "Optimized Gossiping: R = {:.0} m area (ring of '+'), D = {:.0} s, 250 peers\n",
+        scenario.ads[0].radius,
+        scenario.ads[0].duration.as_secs()
+    );
+    let mut world = World::new(scenario);
+    // Issue happens at t = 10 s; sample the spread at these instants.
+    for &t_s in &[12.0, 60.0, 300.0, 900.0, 1500.0, 1795.0, 1809.0] {
+        let t = SimTime::from_secs(t_s);
+        world.run_until(t);
+        render(&world, t);
+    }
+    println!("(the ad expires at t = 1810 s; by the last frame caches have pruned it)");
+}

@@ -1,0 +1,23 @@
+//! Umbrella crate re-exporting the whole instant-advertising stack.
+//!
+//! This is the crate downstream users depend on; the workspace members are
+//! re-exported under short module names:
+//!
+//! * [`geo`] — 2-D geometry (points, circles, lens overlap, spatial grid).
+//! * [`des`] — the deterministic discrete-event engine.
+//! * [`mobility`] — Random Waypoint / Manhattan / stationary mobility.
+//! * [`radio`] — the unit-disk wireless broadcast medium.
+//! * [`sketch`] — Flajolet–Martin distinct-counting sketches.
+//! * [`core`] — the paper's protocols: restricted flooding, opportunistic
+//!   gossiping, both optimisations, and popularity ranking.
+//! * [`experiments`] — scenario builder, metrics, and figure harnesses.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use ia_core as core;
+pub use ia_des as des;
+pub use ia_experiments as experiments;
+pub use ia_geo as geo;
+pub use ia_mobility as mobility;
+pub use ia_radio as radio;
+pub use ia_sketch as sketch;
