@@ -279,7 +279,7 @@ pub fn ad_encoded_len(ad: &Advertisement) -> usize {
         + 16                   // issue_pos
         + 8                    // issue_time
         + 8 + 8                // initial radius + duration
-        + 8 + 8;               // current radius + duration
+        + 8 + 8; // current radius + duration
     let topics = 2 + 4 * ad.topics.len();
     let sketches = 2 + ad.sketches.size_bits().div_ceil(8) + 8;
     let payload = 4 + ad.payload_bytes;
@@ -379,7 +379,11 @@ mod tests {
     #[test]
     fn error_display() {
         assert_eq!(
-            CodecError::Truncated { needed: 10, have: 3 }.to_string(),
+            CodecError::Truncated {
+                needed: 10,
+                have: 3
+            }
+            .to_string(),
             "truncated message: needed 10 bytes, have 3"
         );
         assert_eq!(CodecError::BadMagic(0xBEEF).to_string(), "bad magic 0xBEEF");

@@ -22,9 +22,11 @@
 //!   Optimized Gossiping (both).
 //!
 //! The crate is simulator-agnostic: protocols are state machines driven
-//! through [`protocol::Protocol`] with explicit contexts and returned
-//! [`protocol::Action`]s. The `ia-experiments` crate wires them to the
-//! discrete-event engine, mobility, and radio.
+//! through [`protocol::Protocol`] with explicit contexts, pushing
+//! [`protocol::Action`]s into a caller-owned [`protocol::ActionSink`]
+//! (a reusable buffer, so steady-state dispatch is allocation-free).
+//! The `ia-experiments` crate wires them to the discrete-event engine,
+//! mobility, and radio.
 
 pub mod ad;
 pub mod cache;
@@ -43,5 +45,5 @@ pub use ids::{AdId, PeerId};
 pub use interest::UserProfile;
 pub use params::GossipParams;
 pub use protocol::{
-    build_protocol, Action, AdMessage, PeerContext, Protocol, ProtocolKind, RxMeta,
+    build_protocol, Action, ActionSink, AdMessage, PeerContext, Protocol, ProtocolKind, RxMeta,
 };

@@ -38,13 +38,7 @@ use ia_des::SimDuration;
 /// function stays continuous.
 ///
 /// Returns 0 when the advertising area has collapsed (`r_t <= 0`).
-pub fn forwarding_probability(
-    alpha: f64,
-    d: f64,
-    r_t: f64,
-    unit: f64,
-    outside_unit: f64,
-) -> f64 {
+pub fn forwarding_probability(alpha: f64, d: f64, r_t: f64, unit: f64, outside_unit: f64) -> f64 {
     debug_assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "bad alpha");
     debug_assert!(unit > 0.0 && outside_unit > 0.0, "bad unit");
     debug_assert!(d >= 0.0, "negative distance");
@@ -210,7 +204,13 @@ mod tests {
         let unit = SimDuration::from_secs(180.0);
         let mut last = f64::INFINITY;
         for i in 0..=60 {
-            let r = radius_at(0.5, 1000.0, SimDuration::from_secs(i as f64 * 30.0), d0, unit);
+            let r = radius_at(
+                0.5,
+                1000.0,
+                SimDuration::from_secs(i as f64 * 30.0),
+                d0,
+                unit,
+            );
             assert!(r <= last + 1e-9);
             last = r;
         }
@@ -293,7 +293,10 @@ mod tests {
 
     #[test]
     fn formula3_collapsed_area_gives_zero() {
-        assert_eq!(annular_probability(0.5, 10.0, 0.0, 250.0, UNIT, OUNIT, IUNIT), 0.0);
+        assert_eq!(
+            annular_probability(0.5, 10.0, 0.0, 250.0, UNIT, OUNIT, IUNIT),
+            0.0
+        );
     }
 }
 

@@ -21,7 +21,7 @@
 //! * Interest processing (Algorithm 5) still runs on first receipt so the
 //!   popularity machinery is comparable across protocols.
 
-use super::{Action, AdMessage, PeerContext, Protocol, ProtocolKind, RxMeta};
+use super::{Action, ActionSink, AdMessage, PeerContext, Protocol, ProtocolKind, RxMeta};
 use crate::ad::Advertisement;
 use crate::ids::AdId;
 use crate::interest::UserProfile;
@@ -80,7 +80,7 @@ impl Protocol for RestrictedFlooding {
         ProtocolKind::Flooding
     }
 
-    fn on_start(&mut self, ctx: &mut PeerContext<'_>) -> Vec<Action> {
+    fn on_start(&mut self, ctx: &mut PeerContext<'_>, out: &mut ActionSink) {
         // Pure receivers need no timers; issuers start their cycle in
         // `issue`. On a restart with live issued ads (the issuer's device
         // came back), resume the broadcast cycle.
@@ -88,43 +88,38 @@ impl Protocol for RestrictedFlooding {
         self.issued.retain(|i| !i.ad.expired(now));
         if !self.issued.is_empty() && !self.round_scheduled {
             self.round_scheduled = true;
-            return vec![Action::ScheduleRound(now + self.params.round_time)];
+            out.push(Action::ScheduleRound(now + self.params.round_time));
         }
-        Vec::new()
     }
 
-    fn issue(&mut self, ctx: &mut PeerContext<'_>, ad: Advertisement) -> Vec<Action> {
+    fn issue(&mut self, ctx: &mut PeerContext<'_>, ad: Advertisement, out: &mut ActionSink) {
         self.received.insert(ad.id, ());
         self.issued.push(Issued { ad, next_wave: 0 });
         let idx = self.issued.len() - 1;
-        let mut actions = Vec::new();
         if let Some(msg) = self.broadcast_wave(idx, ctx.now) {
-            actions.push(Action::Broadcast(msg));
+            out.push(Action::Broadcast(msg));
         }
         if !self.round_scheduled {
             self.round_scheduled = true;
-            actions.push(Action::ScheduleRound(ctx.now + self.params.round_time));
+            out.push(Action::ScheduleRound(ctx.now + self.params.round_time));
         }
-        actions
     }
 
-    fn on_round(&mut self, ctx: &mut PeerContext<'_>) -> Vec<Action> {
+    fn on_round(&mut self, ctx: &mut PeerContext<'_>, out: &mut ActionSink) {
         // Issuer role: re-broadcast every live ad, drop the dead ones.
-        let mut actions = Vec::new();
         let now = ctx.now;
         self.issued.retain(|i| !i.ad.expired(now));
         for idx in 0..self.issued.len() {
             if let Some(msg) = self.broadcast_wave(idx, now) {
-                actions.push(Action::Broadcast(msg));
+                out.push(Action::Broadcast(msg));
             }
         }
         if self.issued.is_empty() {
             // Nothing left to advertise; stop the cycle.
             self.round_scheduled = false;
         } else {
-            actions.push(Action::ScheduleRound(now + self.params.round_time));
+            out.push(Action::ScheduleRound(now + self.params.round_time));
         }
-        actions
     }
 
     fn on_receive(
@@ -132,22 +127,22 @@ impl Protocol for RestrictedFlooding {
         ctx: &mut PeerContext<'_>,
         msg: &AdMessage,
         _meta: &RxMeta,
-    ) -> Vec<Action> {
+        out: &mut ActionSink,
+    ) {
         let Some(flood) = msg.flood else {
             // Gossip traffic reaching a flooding peer is ignored (mixed
             // deployments are out of scope, but don't crash).
-            return Vec::new();
+            return;
         };
         if msg.ad.expired(ctx.now) {
-            return Vec::new();
+            return;
         }
-        let mut actions = Vec::new();
         let first_time = self.received.insert(msg.ad.id, ()).is_none();
         let mut ad = msg.ad.clone();
         if first_time {
             // Interest processing on first receipt (Algorithm 5).
             rank::process_interest(&mut ad, &self.profile, &self.params);
-            actions.push(Action::Accepted { ad: ad.id });
+            out.push(Action::Accepted { ad: ad.id });
         }
         // Relay the wave if it is new to us and we are inside the stamped
         // advertising radius.
@@ -157,18 +152,17 @@ impl Protocol for RestrictedFlooding {
         if wave_is_new {
             self.relayed.insert(ad.id, flood.wave);
             if inside {
-                actions.push(Action::Broadcast(AdMessage::flood(
+                out.push(Action::Broadcast(AdMessage::flood(
                     ad,
                     flood.wave,
                     flood.radius,
                 )));
             }
         }
-        actions
     }
 
-    fn on_entry_timer(&mut self, _ctx: &mut PeerContext<'_>, _ad: AdId) -> Vec<Action> {
-        Vec::new() // flooding has no per-entry timers
+    fn on_entry_timer(&mut self, _ctx: &mut PeerContext<'_>, _ad: AdId, _out: &mut ActionSink) {
+        // flooding has no per-entry timers
     }
 
     fn holds(&self, ad: AdId) -> bool {
@@ -226,7 +220,7 @@ mod tests {
         let mut p = RestrictedFlooding::new(params(), UserProfile::indifferent(1));
         let mut rng = SimRng::from_master(1);
         let mut c = ctx(&mut rng, 10.0, Point::new(2500.0, 2500.0));
-        let actions = p.issue(&mut c, mk_ad(0));
+        let actions = ActionSink::collect(|out| p.issue(&mut c, mk_ad(0), out));
         assert!(matches!(actions[0], Action::Broadcast(_)));
         assert!(matches!(actions[1], Action::ScheduleRound(t) if t == SimTime::from_secs(15.0)));
         assert!(p.holds(AdId::new(PeerId(0), 0)));
@@ -237,9 +231,9 @@ mod tests {
         let mut p = RestrictedFlooding::new(params(), UserProfile::indifferent(1));
         let mut rng = SimRng::from_master(1);
         let mut c = ctx(&mut rng, 10.0, Point::new(2500.0, 2500.0));
-        p.issue(&mut c, mk_ad(0));
+        ActionSink::collect(|out| p.issue(&mut c, mk_ad(0), out));
         let mut c2 = ctx(&mut rng, 15.0, Point::new(2500.0, 2500.0));
-        let actions = p.on_round(&mut c2);
+        let actions = ActionSink::collect(|out| p.on_round(&mut c2, out));
         let waves: Vec<u32> = actions
             .iter()
             .filter_map(|a| match a {
@@ -255,11 +249,14 @@ mod tests {
         let mut p = RestrictedFlooding::new(params(), UserProfile::indifferent(1));
         let mut rng = SimRng::from_master(1);
         let mut c = ctx(&mut rng, 10.0, Point::new(2500.0, 2500.0));
-        p.issue(&mut c, mk_ad(0));
+        ActionSink::collect(|out| p.issue(&mut c, mk_ad(0), out));
         // Way past expiry (issue 10 + duration 1800).
         let mut c2 = ctx(&mut rng, 2000.0, Point::new(2500.0, 2500.0));
-        let actions = p.on_round(&mut c2);
-        assert!(actions.is_empty(), "expired ad must stop the cycle: {actions:?}");
+        let actions = ActionSink::collect(|out| p.on_round(&mut c2, out));
+        assert!(
+            actions.is_empty(),
+            "expired ad must stop the cycle: {actions:?}"
+        );
     }
 
     #[test]
@@ -269,16 +266,18 @@ mod tests {
         let msg = AdMessage::flood(mk_ad(0), 3, 1000.0);
         let inside = Point::new(2600.0, 2500.0);
         let mut c = ctx(&mut rng, 20.0, inside);
-        let actions = p.on_receive(&mut c, &msg, &meta(5, Point::new(2550.0, 2500.0)));
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::Accepted { .. })));
+        let actions = ActionSink::collect(|out| {
+            p.on_receive(&mut c, &msg, &meta(5, Point::new(2550.0, 2500.0)), out)
+        });
+        assert!(actions.iter().any(|a| matches!(a, Action::Accepted { .. })));
         assert!(actions
             .iter()
             .any(|a| matches!(a, Action::Broadcast(m) if m.flood.unwrap().wave == 3)));
         // Duplicate wave: no relay, no accept.
         let mut c2 = ctx(&mut rng, 21.0, inside);
-        let again = p.on_receive(&mut c2, &msg, &meta(6, Point::new(2550.0, 2500.0)));
+        let again = ActionSink::collect(|out| {
+            p.on_receive(&mut c2, &msg, &meta(6, Point::new(2550.0, 2500.0)), out)
+        });
         assert!(again.is_empty());
     }
 
@@ -289,10 +288,10 @@ mod tests {
         let msg = AdMessage::flood(mk_ad(0), 0, 1000.0);
         let outside = Point::new(4000.0, 2500.0); // 1500 m from centre
         let mut c = ctx(&mut rng, 20.0, outside);
-        let actions = p.on_receive(&mut c, &msg, &meta(5, Point::new(3800.0, 2500.0)));
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::Accepted { .. })));
+        let actions = ActionSink::collect(|out| {
+            p.on_receive(&mut c, &msg, &meta(5, Point::new(3800.0, 2500.0)), out)
+        });
+        assert!(actions.iter().any(|a| matches!(a, Action::Accepted { .. })));
         assert!(!actions.iter().any(|a| matches!(a, Action::Broadcast(_))));
     }
 
@@ -306,20 +305,23 @@ mod tests {
         let m4 = AdMessage::flood(mk_ad(0), 4, 1000.0);
         let sender = meta(5, Point::new(2550.0, 2500.0));
         let mut c = ctx(&mut rng, 20.0, inside);
-        assert!(p
-            .on_receive(&mut c, &m3, &sender)
-            .iter()
-            .any(|a| matches!(a, Action::Broadcast(_))));
+        assert!(
+            ActionSink::collect(|out| p.on_receive(&mut c, &m3, &sender, out))
+                .iter()
+                .any(|a| matches!(a, Action::Broadcast(_)))
+        );
         let mut c = ctx(&mut rng, 21.0, inside);
-        assert!(!p
-            .on_receive(&mut c, &m2, &sender)
-            .iter()
-            .any(|a| matches!(a, Action::Broadcast(_))));
+        assert!(
+            !ActionSink::collect(|out| p.on_receive(&mut c, &m2, &sender, out))
+                .iter()
+                .any(|a| matches!(a, Action::Broadcast(_)))
+        );
         let mut c = ctx(&mut rng, 22.0, inside);
-        assert!(p
-            .on_receive(&mut c, &m4, &sender)
-            .iter()
-            .any(|a| matches!(a, Action::Broadcast(_))));
+        assert!(
+            ActionSink::collect(|out| p.on_receive(&mut c, &m4, &sender, out))
+                .iter()
+                .any(|a| matches!(a, Action::Broadcast(_)))
+        );
     }
 
     #[test]
@@ -328,9 +330,13 @@ mod tests {
         let mut rng = SimRng::from_master(5);
         let msg = AdMessage::flood(mk_ad(0), 0, 1000.0);
         let mut c = ctx(&mut rng, 5000.0, Point::new(2500.0, 2500.0));
-        assert!(p
-            .on_receive(&mut c, &msg, &meta(5, Point::new(2550.0, 2500.0)))
-            .is_empty());
+        assert!(ActionSink::collect(|out| p.on_receive(
+            &mut c,
+            &msg,
+            &meta(5, Point::new(2550.0, 2500.0)),
+            out
+        ))
+        .is_empty());
     }
 
     #[test]
@@ -339,9 +345,13 @@ mod tests {
         let mut rng = SimRng::from_master(6);
         let msg = AdMessage::gossip(mk_ad(0));
         let mut c = ctx(&mut rng, 20.0, Point::new(2500.0, 2500.0));
-        assert!(p
-            .on_receive(&mut c, &msg, &meta(5, Point::new(2550.0, 2500.0)))
-            .is_empty());
+        assert!(ActionSink::collect(|out| p.on_receive(
+            &mut c,
+            &msg,
+            &meta(5, Point::new(2550.0, 2500.0)),
+            out
+        ))
+        .is_empty());
     }
 
     #[test]
@@ -350,7 +360,9 @@ mod tests {
         let mut rng = SimRng::from_master(7);
         let msg = AdMessage::flood(mk_ad(0), 0, 1000.0);
         let mut c = ctx(&mut rng, 20.0, Point::new(2600.0, 2500.0));
-        let actions = p.on_receive(&mut c, &msg, &meta(5, Point::new(2550.0, 2500.0)));
+        let actions = ActionSink::collect(|out| {
+            p.on_receive(&mut c, &msg, &meta(5, Point::new(2550.0, 2500.0)), out)
+        });
         // The relayed copy must carry the user's sketch bits.
         let relayed = actions
             .iter()

@@ -12,7 +12,7 @@
 //!   share the peer's global round timer (Algorithms 1–2); with it, the
 //!   per-entry Algorithms 3–4 apply.
 
-use super::{Action, AdMessage, PeerContext, Protocol, ProtocolKind, RxMeta};
+use super::{Action, ActionSink, AdMessage, PeerContext, Protocol, ProtocolKind, RxMeta};
 use crate::ad::Advertisement;
 use crate::cache::{AdCache, CacheEntry};
 use crate::ids::AdId;
@@ -56,7 +56,12 @@ impl Gossip {
         Self::with_flags(params, profile, true, true)
     }
 
-    fn with_flags(params: GossipParams, profile: UserProfile, annular: bool, postpone: bool) -> Self {
+    fn with_flags(
+        params: GossipParams,
+        profile: UserProfile,
+        annular: bool,
+        postpone: bool,
+    ) -> Self {
         params.validate();
         let cache = AdCache::new(params.cache_capacity);
         Gossip {
@@ -114,10 +119,20 @@ impl Gossip {
         }
     }
 
-    /// Store a new advertisement (already interest-processed); returns the
-    /// follow-up actions (accept signal, entry timer for mechanism 2).
-    fn admit(&mut self, ad: Advertisement, now: SimTime, pos: Point) -> Vec<Action> {
-        let mut actions = vec![Action::Accepted { ad: ad.id }];
+    /// Store a new advertisement (already interest-processed), pushing
+    /// the follow-up actions (accept signal unless the peer is the
+    /// issuer, eviction notice, entry timer for mechanism 2).
+    fn admit(
+        &mut self,
+        ad: Advertisement,
+        now: SimTime,
+        pos: Point,
+        announce_accept: bool,
+        out: &mut ActionSink,
+    ) {
+        if announce_accept {
+            out.push(Action::Accepted { ad: ad.id });
+        }
         let probability = self.probability(&ad, now, pos);
         // Algorithm 1: refresh all probabilities before an eviction
         // decision.
@@ -129,10 +144,19 @@ impl Gossip {
             probability,
             next_time,
         });
-        if self.postpone && evicted != Some(id) {
-            actions.push(Action::ScheduleEntry { ad: id, at: next_time });
+        if let Some(evicted) = evicted {
+            // `evicted == id` means the cache rejected the incoming ad
+            // itself — it was never stored, so no eviction to report.
+            if evicted != id {
+                out.push(Action::CacheEvicted { ad: evicted });
+            }
         }
-        actions
+        if self.postpone && evicted != Some(id) {
+            out.push(Action::ScheduleEntry {
+                ad: id,
+                at: next_time,
+            });
+        }
     }
 }
 
@@ -146,7 +170,7 @@ impl Protocol for Gossip {
         }
     }
 
-    fn on_start(&mut self, ctx: &mut PeerContext<'_>) -> Vec<Action> {
+    fn on_start(&mut self, ctx: &mut PeerContext<'_>, out: &mut ActionSink) {
         if self.postpone {
             // Mechanism (2) peers have no global round; entries carry
             // their own timers. On a restart (device switched back on
@@ -155,34 +179,29 @@ impl Protocol for Gossip {
             self.cache.prune_expired(ctx.now);
             let now = ctx.now;
             let round = self.params.round_time;
-            self.cache
-                .iter_mut()
-                .map(|e| {
-                    e.next_time = e.next_time.max(now + round);
-                    Action::ScheduleEntry {
-                        ad: e.ad.id,
-                        at: e.next_time,
-                    }
-                })
-                .collect()
+            for e in self.cache.iter_mut() {
+                e.next_time = e.next_time.max(now + round);
+                out.push(Action::ScheduleEntry {
+                    ad: e.ad.id,
+                    at: e.next_time,
+                });
+            }
         } else {
             // "All peers work asynchronously and the gossiping process is
             // always active": desynchronise rounds with a random phase.
             let phase = self.params.round_time.mul_f64(ctx.rng.unit());
-            vec![Action::ScheduleRound(ctx.now + phase)]
+            out.push(Action::ScheduleRound(ctx.now + phase));
         }
     }
 
-    fn issue(&mut self, ctx: &mut PeerContext<'_>, mut ad: Advertisement) -> Vec<Action> {
+    fn issue(&mut self, ctx: &mut PeerContext<'_>, mut ad: Advertisement, out: &mut ActionSink) {
         // The issuer counts as an interested/served user of its own ad.
         rank::process_interest(&mut ad, &self.profile, &self.params);
-        let msg = AdMessage::gossip(ad.clone());
-        let mut actions = self.admit(ad, ctx.now, ctx.position);
         // Issue is accompanied by an immediate broadcast so neighbours
         // learn of the ad even if the issuer then goes off-line (§III-C).
-        actions.retain(|a| !matches!(a, Action::Accepted { .. })); // issuer did not "receive" it
-        actions.insert(0, Action::Broadcast(msg));
-        actions
+        out.push(Action::Broadcast(AdMessage::gossip(ad.clone())));
+        // No accept signal: the issuer did not "receive" its own ad.
+        self.admit(ad, ctx.now, ctx.position, false, out);
     }
 
     fn on_receive(
@@ -190,9 +209,10 @@ impl Protocol for Gossip {
         ctx: &mut PeerContext<'_>,
         msg: &AdMessage,
         meta: &RxMeta,
-    ) -> Vec<Action> {
+        out: &mut ActionSink,
+    ) {
         if msg.flood.is_some() || msg.ad.expired(ctx.now) {
-            return Vec::new();
+            return;
         }
         if let Some(entry) = self.cache.get_mut(msg.ad.id) {
             // Duplicate: absorb popularity state; with mechanism (2),
@@ -208,39 +228,35 @@ impl Protocol for Gossip {
                 );
                 entry.next_time = entry.next_time.max(ctx.now) + interval;
                 let at = entry.next_time;
-                return vec![Action::ScheduleEntry { ad: msg.ad.id, at }];
+                out.push(Action::ScheduleEntry { ad: msg.ad.id, at });
             }
-            return Vec::new();
+            return;
         }
         // New advertisement: interest processing (Algorithm 5), then
         // Algorithm 1 insertion.
         let mut ad = msg.ad.clone();
         rank::process_interest(&mut ad, &self.profile, &self.params);
-        self.admit(ad, ctx.now, ctx.position)
+        self.admit(ad, ctx.now, ctx.position, true, out);
     }
 
-    fn on_round(&mut self, ctx: &mut PeerContext<'_>) -> Vec<Action> {
+    fn on_round(&mut self, ctx: &mut PeerContext<'_>, out: &mut ActionSink) {
         if self.postpone {
-            return Vec::new(); // no global rounds under mechanism (2)
+            return; // no global rounds under mechanism (2)
         }
         // Algorithm 2: refresh probabilities, broadcast each entry with
         // its probability, reschedule.
         self.refresh_all(ctx.now, ctx.position);
-        let mut actions = Vec::new();
-        let mut to_send: Vec<AdMessage> = Vec::new();
         for e in self.cache.iter() {
             if ctx.rng.chance(e.probability) {
-                to_send.push(AdMessage::gossip(e.ad.clone()));
+                out.push(Action::Broadcast(AdMessage::gossip(e.ad.clone())));
             }
         }
-        actions.extend(to_send.into_iter().map(Action::Broadcast));
-        actions.push(Action::ScheduleRound(ctx.now + self.params.round_time));
-        actions
+        out.push(Action::ScheduleRound(ctx.now + self.params.round_time));
     }
 
-    fn on_entry_timer(&mut self, ctx: &mut PeerContext<'_>, ad: AdId) -> Vec<Action> {
+    fn on_entry_timer(&mut self, ctx: &mut PeerContext<'_>, ad: AdId, out: &mut ActionSink) {
         if !self.postpone {
-            return Vec::new();
+            return;
         }
         // Algorithm 4, with stale-timer filtering: postponements leave the
         // earlier wake-up in the queue; it fires, sees the entry's
@@ -248,14 +264,14 @@ impl Protocol for Gossip {
         let now = ctx.now;
         let pos = ctx.position;
         let Some(entry) = self.cache.get(ad) else {
-            return Vec::new(); // evicted or expired meanwhile
+            return; // evicted or expired meanwhile
         };
         if entry.next_time > now {
-            return Vec::new(); // stale wake-up superseded by a postponement
+            return; // stale wake-up superseded by a postponement
         }
         if entry.ad.expired(now) {
             self.cache.remove(ad);
-            return Vec::new();
+            return;
         }
         let probability = self.probability(&entry.ad, now, pos);
         let message = AdMessage::gossip(entry.ad.clone());
@@ -263,12 +279,10 @@ impl Protocol for Gossip {
         entry.probability = probability;
         entry.next_time = now + self.params.round_time;
         let at = entry.next_time;
-        let mut actions = Vec::new();
         if ctx.rng.chance(probability) {
-            actions.push(Action::Broadcast(message));
+            out.push(Action::Broadcast(message));
         }
-        actions.push(Action::ScheduleEntry { ad, at });
-        actions
+        out.push(Action::ScheduleEntry { ad, at });
     }
 
     fn holds(&self, ad: AdId) -> bool {
@@ -326,7 +340,7 @@ mod tests {
         let mut rng = SimRng::from_master(1);
         let mut g = Gossip::pure(params(), UserProfile::indifferent(1));
         let mut c = ctx(&mut rng, 0.0, Point::ORIGIN);
-        let a = g.on_start(&mut c);
+        let a = ActionSink::collect(|out| g.on_start(&mut c, out));
         assert_eq!(a.len(), 1);
         match a[0] {
             Action::ScheduleRound(t) => {
@@ -341,9 +355,9 @@ mod tests {
         let mut rng = SimRng::from_master(1);
         let mut g = Gossip::optimized_2(params(), UserProfile::indifferent(1));
         let mut c = ctx(&mut rng, 0.0, Point::ORIGIN);
-        assert!(g.on_start(&mut c).is_empty());
+        assert!(ActionSink::collect(|out| g.on_start(&mut c, out)).is_empty());
         let mut c2 = ctx(&mut rng, 5.0, Point::ORIGIN);
-        assert!(g.on_round(&mut c2).is_empty());
+        assert!(ActionSink::collect(|out| g.on_round(&mut c2, out)).is_empty());
     }
 
     #[test]
@@ -351,7 +365,7 @@ mod tests {
         let mut rng = SimRng::from_master(2);
         let mut g = Gossip::pure(params(), UserProfile::indifferent(1));
         let mut c = ctx(&mut rng, 10.0, Point::new(2500.0, 2500.0));
-        let actions = g.issue(&mut c, mk_ad(0));
+        let actions = ActionSink::collect(|out| g.issue(&mut c, mk_ad(0), out));
         assert!(matches!(actions[0], Action::Broadcast(_)));
         assert!(g.holds(AdId::new(PeerId(0), 0)));
     }
@@ -362,14 +376,20 @@ mod tests {
         let mut g = Gossip::pure(params(), UserProfile::indifferent(1));
         let msg = AdMessage::gossip(mk_ad(0));
         let mut c = ctx(&mut rng, 20.0, Point::new(2600.0, 2500.0));
-        let actions = g.on_receive(&mut c, &msg, &meta_at(Point::new(2550.0, 2500.0)));
+        let actions = ActionSink::collect(|out| {
+            g.on_receive(&mut c, &msg, &meta_at(Point::new(2550.0, 2500.0)), out)
+        });
         assert!(actions.iter().any(|a| matches!(a, Action::Accepted { .. })));
         assert!(g.holds(msg.ad.id));
         // Duplicate in pure mode: silently absorbed.
         let mut c2 = ctx(&mut rng, 21.0, Point::new(2600.0, 2500.0));
-        assert!(g
-            .on_receive(&mut c2, &msg, &meta_at(Point::new(2550.0, 2500.0)))
-            .is_empty());
+        assert!(ActionSink::collect(|out| g.on_receive(
+            &mut c2,
+            &msg,
+            &meta_at(Point::new(2550.0, 2500.0)),
+            out
+        ))
+        .is_empty());
     }
 
     #[test]
@@ -379,11 +399,13 @@ mod tests {
         let pos = Point::new(2550.0, 2500.0); // 50 m from centre: P ~ 1
         let msg = AdMessage::gossip(mk_ad(0));
         let mut c = ctx(&mut rng, 20.0, pos);
-        g.on_receive(&mut c, &msg, &meta_at(Point::new(2500.0, 2500.0)));
+        ActionSink::collect(|out| {
+            g.on_receive(&mut c, &msg, &meta_at(Point::new(2500.0, 2500.0)), out)
+        });
         let mut broadcasts = 0;
         for k in 0..20 {
             let mut cr = ctx(&mut rng, 25.0 + k as f64 * 5.0, pos);
-            let actions = g.on_round(&mut cr);
+            let actions = ActionSink::collect(|out| g.on_round(&mut cr, out));
             assert!(matches!(actions.last(), Some(Action::ScheduleRound(_))));
             broadcasts += actions
                 .iter()
@@ -400,12 +422,13 @@ mod tests {
         let pos = Point::new(4500.0, 2500.0); // 2000 m out: P ~ 0.5*0.5^10
         let msg = AdMessage::gossip(mk_ad(0));
         let mut c = ctx(&mut rng, 20.0, pos);
-        g.on_receive(&mut c, &msg, &meta_at(Point::new(4400.0, 2500.0)));
+        ActionSink::collect(|out| {
+            g.on_receive(&mut c, &msg, &meta_at(Point::new(4400.0, 2500.0)), out)
+        });
         let mut broadcasts = 0;
         for k in 0..50 {
             let mut cr = ctx(&mut rng, 25.0 + k as f64 * 5.0, pos);
-            broadcasts += g
-                .on_round(&mut cr)
+            broadcasts += ActionSink::collect(|out| g.on_round(&mut cr, out))
                 .iter()
                 .filter(|a| matches!(a, Action::Broadcast(_)))
                 .count();
@@ -420,7 +443,7 @@ mod tests {
         let centre = Point::new(2500.0, 2500.0);
         let msg = AdMessage::gossip(mk_ad(0));
         let mut c = ctx(&mut rng, 20.0, centre);
-        g.on_receive(&mut c, &msg, &meta_at(centre));
+        ActionSink::collect(|out| g.on_receive(&mut c, &msg, &meta_at(centre), out));
         // During warm-up (age <= 40 s) the interior still gossips.
         let p_young = g.probability(&msg.ad, SimTime::from_secs(30.0), centre);
         assert!(p_young > 0.9, "warm-up probability {p_young}");
@@ -439,10 +462,12 @@ mod tests {
         let mut g = Gossip::optimized_2(params(), UserProfile::indifferent(1));
         let msg = AdMessage::gossip(mk_ad(0));
         let mut c = ctx(&mut rng, 20.0, Point::new(2600.0, 2500.0));
-        let actions = g.on_receive(&mut c, &msg, &meta_at(Point::new(2550.0, 2500.0)));
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::ScheduleEntry { at, .. } if *at == SimTime::from_secs(25.0))));
+        let actions = ActionSink::collect(|out| {
+            g.on_receive(&mut c, &msg, &meta_at(Point::new(2550.0, 2500.0)), out)
+        });
+        assert!(actions.iter().any(
+            |a| matches!(a, Action::ScheduleEntry { at, .. } if *at == SimTime::from_secs(25.0))
+        ));
     }
 
     #[test]
@@ -452,11 +477,15 @@ mod tests {
         let msg = AdMessage::gossip(mk_ad(0));
         let pos = Point::new(2600.0, 2500.0);
         let mut c = ctx(&mut rng, 20.0, pos);
-        g.on_receive(&mut c, &msg, &meta_at(Point::new(2550.0, 2500.0)));
+        ActionSink::collect(|out| {
+            g.on_receive(&mut c, &msg, &meta_at(Point::new(2550.0, 2500.0)), out)
+        });
         let before = g.cache.get(msg.ad.id).unwrap().next_time;
         // Overhear a very close neighbour broadcasting the same ad.
         let mut c2 = ctx(&mut rng, 21.0, pos);
-        let actions = g.on_receive(&mut c2, &msg, &meta_at(Point::new(2601.0, 2500.0)));
+        let actions = ActionSink::collect(|out| {
+            g.on_receive(&mut c2, &msg, &meta_at(Point::new(2601.0, 2500.0)), out)
+        });
         let after = g.cache.get(msg.ad.id).unwrap().next_time;
         assert!(after > before, "postponement must push the schedule back");
         // Pushed back by at least one round time (formula 4 lower bound).
@@ -472,9 +501,11 @@ mod tests {
             let mut g = Gossip::optimized_2(params(), UserProfile::indifferent(1));
             let msg = AdMessage::gossip(mk_ad(0));
             let mut c = ctx(&mut rng, 20.0, pos);
-            g.on_receive(&mut c, &msg, &meta_at(Point::new(2550.0, 2500.0)));
+            ActionSink::collect(|out| {
+                g.on_receive(&mut c, &msg, &meta_at(Point::new(2550.0, 2500.0)), out)
+            });
             let mut c2 = ctx(&mut rng, 21.0, pos);
-            g.on_receive(&mut c2, &msg, &meta_at(sender));
+            ActionSink::collect(|out| g.on_receive(&mut c2, &msg, &meta_at(sender), out));
             g.cache.get(msg.ad.id).unwrap().next_time
         };
         let near = run(Point::new(2605.0, 2500.0));
@@ -489,14 +520,18 @@ mod tests {
         let msg = AdMessage::gossip(mk_ad(0));
         let pos = Point::new(2600.0, 2500.0);
         let mut c = ctx(&mut rng, 20.0, pos);
-        g.on_receive(&mut c, &msg, &meta_at(Point::new(2550.0, 2500.0)));
+        ActionSink::collect(|out| {
+            g.on_receive(&mut c, &msg, &meta_at(Point::new(2550.0, 2500.0)), out)
+        });
         // Postpone: next_time moves past 25 s.
         let mut c2 = ctx(&mut rng, 21.0, pos);
-        g.on_receive(&mut c2, &msg, &meta_at(Point::new(2601.0, 2500.0)));
+        ActionSink::collect(|out| {
+            g.on_receive(&mut c2, &msg, &meta_at(Point::new(2601.0, 2500.0)), out)
+        });
         let scheduled = g.cache.get(msg.ad.id).unwrap().next_time;
         // The original 25 s wake-up is now stale.
         let mut c3 = ctx(&mut rng, 25.0, pos);
-        assert!(g.on_entry_timer(&mut c3, msg.ad.id).is_empty());
+        assert!(ActionSink::collect(|out| g.on_entry_timer(&mut c3, msg.ad.id, out)).is_empty());
         // The postponed wake-up fires and reschedules.
         let mut rng2 = SimRng::from_master(11);
         let mut c4 = PeerContext {
@@ -505,7 +540,7 @@ mod tests {
             velocity: Vector::ZERO,
             rng: &mut rng2,
         };
-        let actions = g.on_entry_timer(&mut c4, msg.ad.id);
+        let actions = ActionSink::collect(|out| g.on_entry_timer(&mut c4, msg.ad.id, out));
         assert!(actions
             .iter()
             .any(|a| matches!(a, Action::ScheduleEntry { .. })));
@@ -518,12 +553,14 @@ mod tests {
         let msg = AdMessage::gossip(mk_ad(0));
         let pos = Point::new(2600.0, 2500.0);
         let mut c = ctx(&mut rng, 20.0, pos);
-        g.on_receive(&mut c, &msg, &meta_at(Point::new(2550.0, 2500.0)));
+        ActionSink::collect(|out| {
+            g.on_receive(&mut c, &msg, &meta_at(Point::new(2550.0, 2500.0)), out)
+        });
         // Force the entry's schedule into the deep future then fire after
         // expiry.
         g.cache.get_mut(msg.ad.id).unwrap().next_time = SimTime::from_secs(3000.0);
         let mut c2 = ctx(&mut rng, 3000.0, pos);
-        assert!(g.on_entry_timer(&mut c2, msg.ad.id).is_empty());
+        assert!(ActionSink::collect(|out| g.on_entry_timer(&mut c2, msg.ad.id, out)).is_empty());
         assert!(!g.holds(msg.ad.id));
     }
 
@@ -536,7 +573,7 @@ mod tests {
         for seq in 0..5 {
             let msg = AdMessage::gossip(mk_ad(seq));
             let mut c = ctx(&mut rng, 20.0 + seq as f64, pos);
-            g.on_receive(&mut c, &msg, &meta_at(pos));
+            ActionSink::collect(|out| g.on_receive(&mut c, &msg, &meta_at(pos), out));
         }
         assert_eq!(g.cache.len(), 3);
     }
@@ -547,9 +584,13 @@ mod tests {
         let mut g = Gossip::pure(params(), UserProfile::indifferent(1));
         let msg = AdMessage::gossip(mk_ad(0));
         let mut c = ctx(&mut rng, 5000.0, Point::new(2500.0, 2500.0));
-        assert!(g
-            .on_receive(&mut c, &msg, &meta_at(Point::new(2550.0, 2500.0)))
-            .is_empty());
+        assert!(ActionSink::collect(|out| g.on_receive(
+            &mut c,
+            &msg,
+            &meta_at(Point::new(2550.0, 2500.0)),
+            out
+        ))
+        .is_empty());
         assert!(!g.holds(msg.ad.id));
     }
 
@@ -559,7 +600,9 @@ mod tests {
         let mut g = Gossip::pure(params(), UserProfile::new(7, vec![1]));
         let msg = AdMessage::gossip(mk_ad(0));
         let mut c = ctx(&mut rng, 20.0, Point::new(2600.0, 2500.0));
-        g.on_receive(&mut c, &msg, &meta_at(Point::new(2550.0, 2500.0)));
+        ActionSink::collect(|out| {
+            g.on_receive(&mut c, &msg, &meta_at(Point::new(2550.0, 2500.0)), out)
+        });
         let cached = &g.cache.get(msg.ad.id).unwrap().ad;
         assert!(cached.sketches.rank() >= msg.ad.sketches.rank());
         assert_ne!(cached.sketches, msg.ad.sketches);

@@ -4,9 +4,13 @@
 //! [`Protocol::on_receive`], [`Protocol::on_round`], and
 //! [`Protocol::on_entry_timer`] with a [`PeerContext`] snapshot of the
 //! peer's kinematic state, and the protocol answers with [`Action`]s
-//! (broadcasts to transmit, wake-ups to schedule). This keeps `ia-core`
-//! free of any dependency on the event engine, radio, or mobility — the
-//! same implementations could drive real hardware.
+//! (broadcasts to transmit, wake-ups to schedule) pushed into the
+//! caller-owned [`ActionSink`]. The sink is a reusable buffer: the event
+//! loop drains it after every callback and hands the same allocation to
+//! the next one, so steady-state protocol dispatch allocates nothing per
+//! event. This keeps `ia-core` free of any dependency on the event
+//! engine, radio, or mobility — the same implementations could drive
+//! real hardware.
 
 pub mod flooding;
 pub mod gossip;
@@ -37,12 +41,14 @@ pub enum ProtocolKind {
 }
 
 impl ProtocolKind {
-    /// All five, in the order the paper's figures list them.
+    /// All five, in the order the paper's figures list them: the
+    /// baseline first, then gossiping with each optimization mechanism
+    /// in mechanism order, then both combined.
     pub const ALL: [ProtocolKind; 5] = [
         ProtocolKind::Flooding,
         ProtocolKind::Gossip,
-        ProtocolKind::OptGossip2,
         ProtocolKind::OptGossip1,
+        ProtocolKind::OptGossip2,
         ProtocolKind::OptGossip,
     ];
 
@@ -139,28 +145,111 @@ pub enum Action {
     /// The peer accepted (first stored/displayed) this advertisement —
     /// the delivery-metric hook.
     Accepted { ad: AdId },
+    /// The peer's cache evicted a previously stored advertisement to
+    /// make room — the cache-churn observability hook.
+    CacheEvicted { ad: AdId },
+}
+
+/// A reusable buffer protocol callbacks push their [`Action`]s into.
+///
+/// The event loop owns one sink per run, hands it to every callback, and
+/// [`drain`](ActionSink::drain)s it afterwards — so after warm-up the
+/// protocol hot path performs no per-event allocation (the buffer's
+/// capacity is retained across callbacks). Tests that want a plain
+/// `Vec<Action>` use the [`ActionSink::collect`] adapter.
+#[derive(Debug, Default)]
+pub struct ActionSink {
+    actions: Vec<Action>,
+}
+
+impl ActionSink {
+    pub fn new() -> Self {
+        ActionSink {
+            actions: Vec::new(),
+        }
+    }
+
+    pub fn with_capacity(capacity: usize) -> Self {
+        ActionSink {
+            actions: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Run `f` against a fresh sink and return the pushed actions as a
+    /// `Vec` — the adapter unit tests use to keep their assertions on
+    /// plain vectors.
+    pub fn collect(f: impl FnOnce(&mut ActionSink)) -> Vec<Action> {
+        let mut sink = ActionSink::new();
+        f(&mut sink);
+        sink.into_vec()
+    }
+
+    #[inline]
+    pub fn push(&mut self, action: Action) {
+        self.actions.push(action);
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// The buffered actions, in push order.
+    pub fn as_slice(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// Remove and yield the buffered actions in push order, retaining
+    /// the buffer's capacity for the next callback.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, Action> {
+        self.actions.drain(..)
+    }
+
+    pub fn clear(&mut self) {
+        self.actions.clear();
+    }
+
+    /// Consume the sink, returning the buffered actions.
+    pub fn into_vec(self) -> Vec<Action> {
+        self.actions
+    }
 }
 
 /// A protocol instance: one per peer.
+///
+/// Every callback receives the caller's [`ActionSink`] and pushes zero
+/// or more [`Action`]s; nothing is returned. Callbacks must only append —
+/// the caller may already hold actions from an earlier callback in the
+/// same batch.
 pub trait Protocol {
     /// Which protocol this is.
     fn kind(&self) -> ProtocolKind;
 
     /// Called once when the peer comes online.
-    fn on_start(&mut self, ctx: &mut PeerContext<'_>) -> Vec<Action>;
+    fn on_start(&mut self, ctx: &mut PeerContext<'_>, out: &mut ActionSink);
 
     /// Called for each frame the radio delivers to this peer.
-    fn on_receive(&mut self, ctx: &mut PeerContext<'_>, msg: &AdMessage, meta: &RxMeta)
-        -> Vec<Action>;
+    fn on_receive(
+        &mut self,
+        ctx: &mut PeerContext<'_>,
+        msg: &AdMessage,
+        meta: &RxMeta,
+        out: &mut ActionSink,
+    );
 
     /// Called when a scheduled round wake-up fires.
-    fn on_round(&mut self, ctx: &mut PeerContext<'_>) -> Vec<Action>;
+    fn on_round(&mut self, ctx: &mut PeerContext<'_>, out: &mut ActionSink);
 
     /// Called when a scheduled per-entry wake-up fires.
-    fn on_entry_timer(&mut self, ctx: &mut PeerContext<'_>, ad: AdId) -> Vec<Action>;
+    fn on_entry_timer(&mut self, ctx: &mut PeerContext<'_>, ad: AdId, out: &mut ActionSink);
 
     /// Issue a new advertisement from this peer.
-    fn issue(&mut self, ctx: &mut PeerContext<'_>, ad: Advertisement) -> Vec<Action>;
+    fn issue(&mut self, ctx: &mut PeerContext<'_>, ad: Advertisement, out: &mut ActionSink);
 
     /// Does this peer currently hold `ad` (cache or issuer state)?
     fn holds(&self, ad: AdId) -> bool;
@@ -200,6 +289,46 @@ mod tests {
             ProtocolKind::ALL.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), 5);
         assert_eq!(ProtocolKind::Flooding.to_string(), "Flooding");
+    }
+
+    #[test]
+    fn all_pins_figure_legend_order() {
+        // The paper's figure legends list the protocols in this order;
+        // figure output iterates `ALL`, so this order IS the legend.
+        let legend: Vec<&str> = ProtocolKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(
+            legend,
+            [
+                "Flooding",
+                "Gossiping",
+                "Optimized Gossiping-1",
+                "Optimized Gossiping-2",
+                "Optimized Gossiping",
+            ]
+        );
+    }
+
+    #[test]
+    fn sink_collect_drain_and_reuse() {
+        let mut sink = ActionSink::with_capacity(4);
+        sink.push(Action::ScheduleRound(SimTime::from_secs(1.0)));
+        sink.push(Action::Accepted {
+            ad: AdId::new(crate::ids::PeerId(1), 0),
+        });
+        assert_eq!(sink.len(), 2);
+        assert!(!sink.is_empty());
+        let drained: Vec<Action> = sink.drain().collect();
+        assert_eq!(drained.len(), 2);
+        assert!(matches!(drained[0], Action::ScheduleRound(_)));
+        // Draining empties the sink but keeps the allocation for reuse.
+        assert!(sink.is_empty());
+        assert!(sink.as_slice().is_empty());
+        sink.push(Action::ScheduleRound(SimTime::from_secs(2.0)));
+        assert_eq!(sink.into_vec().len(), 1);
+        let collected = ActionSink::collect(|out| {
+            out.push(Action::ScheduleRound(SimTime::from_secs(3.0)));
+        });
+        assert_eq!(collected.len(), 1);
     }
 
     #[test]

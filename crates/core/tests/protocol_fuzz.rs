@@ -9,8 +9,8 @@
 //! * after an `Accepted`, the peer `holds` the ad (until expiry/eviction).
 
 use ia_core::{
-    build_protocol, Action, AdId, AdMessage, Advertisement, GossipParams, PeerContext, PeerId,
-    ProtocolKind, RxMeta, UserProfile,
+    build_protocol, Action, ActionSink, AdId, AdMessage, Advertisement, GossipParams, PeerContext,
+    PeerId, ProtocolKind, RxMeta, UserProfile,
 };
 use ia_des::{SimDuration, SimRng, SimTime};
 use ia_geo::{Point, Vector};
@@ -29,12 +29,21 @@ enum Op {
         sender_dy: f64,
     },
     Round,
-    EntryTimer { pool_idx: usize },
-    Issue { pool_idx: usize },
+    EntryTimer {
+        pool_idx: usize,
+    },
+    Issue {
+        pool_idx: usize,
+    },
     /// Advance time by this many milliseconds before the next op.
-    Advance { millis: u64 },
+    Advance {
+        millis: u64,
+    },
     /// Teleport the peer (models GPS jumps / extreme mobility).
-    Move { dx: f64, dy: f64 },
+    Move {
+        dx: f64,
+        dy: f64,
+    },
 }
 
 fn arb_op(pool: usize) -> impl Strategy<Value = Op> {
@@ -98,10 +107,11 @@ fn check_actions(
                 assert!(*at >= now, "{kind}: entry timer scheduled into the past");
             }
             Action::Accepted { ad } => {
-                assert!(
-                    accepted.insert(*ad),
-                    "{kind}: duplicate Accepted for {ad}"
-                );
+                assert!(accepted.insert(*ad), "{kind}: duplicate Accepted for {ad}");
+            }
+            Action::CacheEvicted { .. } => {
+                // Checked against `holds` by the caller, which owns the
+                // protocol borrow.
             }
         }
     }
@@ -115,6 +125,9 @@ fn run_fuzz(kind: ProtocolKind, ops: &[Op], seed: u64) {
     let mut now = SimTime::ZERO;
     let mut pos = Point::new(2500.0, 2500.0);
     let mut accepted: HashSet<AdId> = HashSet::new();
+    // One sink for the whole run, drained between callbacks — the same
+    // reuse discipline the simulation world applies.
+    let mut sink = ActionSink::new();
 
     {
         let mut ctx = PeerContext {
@@ -123,8 +136,9 @@ fn run_fuzz(kind: ProtocolKind, ops: &[Op], seed: u64) {
             velocity: Vector::new(5.0, 0.0),
             rng: &mut rng,
         };
-        let actions = protocol.on_start(&mut ctx);
-        check_actions(kind, now, &actions, &mut accepted);
+        protocol.on_start(&mut ctx, &mut sink);
+        check_actions(kind, now, sink.as_slice(), &mut accepted);
+        sink.clear();
     }
 
     for op in ops {
@@ -148,7 +162,7 @@ fn run_fuzz(kind: ProtocolKind, ops: &[Op], seed: u64) {
             velocity: Vector::new(5.0, 1.0),
             rng: &mut rng,
         };
-        let actions = match op {
+        match op {
             Op::Receive {
                 pool_idx,
                 wave,
@@ -166,10 +180,12 @@ fn run_fuzz(kind: ProtocolKind, ops: &[Op], seed: u64) {
                     from: 9,
                     distance: pos.distance(sender_pos),
                 };
-                protocol.on_receive(&mut ctx, &msg, &meta)
+                protocol.on_receive(&mut ctx, &msg, &meta, &mut sink);
             }
-            Op::Round => protocol.on_round(&mut ctx),
-            Op::EntryTimer { pool_idx } => protocol.on_entry_timer(&mut ctx, pool[*pool_idx].id),
+            Op::Round => protocol.on_round(&mut ctx, &mut sink),
+            Op::EntryTimer { pool_idx } => {
+                protocol.on_entry_timer(&mut ctx, pool[*pool_idx].id, &mut sink)
+            }
             Op::Issue { pool_idx } => {
                 // Fresh ad owned by this peer, issued "now" so it is live.
                 let params = GossipParams::paper();
@@ -188,18 +204,26 @@ fn run_fuzz(kind: ProtocolKind, ops: &[Op], seed: u64) {
                 if protocol.holds(ad.id) {
                     continue;
                 }
-                protocol.issue(&mut ctx, ad)
+                protocol.issue(&mut ctx, ad, &mut sink);
             }
             Op::Advance { .. } | Op::Move { .. } => unreachable!(),
         };
-        check_actions(kind, now, &actions, &mut accepted);
+        check_actions(kind, now, sink.as_slice(), &mut accepted);
         // Accepted implies holds for the gossip family (flooding tracks
-        // receipt without storing a copy, so holds() is its receipt set).
-        for a in &actions {
-            if let Action::Accepted { ad } = a {
-                assert!(protocol.holds(*ad), "{kind}: accepted but not held");
+        // receipt without storing a copy, so holds() is its receipt set);
+        // CacheEvicted implies the peer no longer holds the evicted ad.
+        for a in sink.as_slice() {
+            match a {
+                Action::Accepted { ad } => {
+                    assert!(protocol.holds(*ad), "{kind}: accepted but not held");
+                }
+                Action::CacheEvicted { ad } => {
+                    assert!(!protocol.holds(*ad), "{kind}: evicted but still held");
+                }
+                _ => {}
             }
         }
+        sink.clear();
     }
 }
 

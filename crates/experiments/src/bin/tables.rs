@@ -12,21 +12,51 @@ fn main() {
     let p = GossipParams::paper();
     let s = Scenario::paper(ProtocolKind::OptGossip, 300);
 
-    let mut t2 = Table::new("Table II: parameter setting (performance comparison)", &["name", "value"]);
-    t2.row(vec!["Simulation Time".into(), format!("{} s (one life cycle)", s.sim_time.as_secs())]);
-    t2.row(vec!["Field".into(), format!("{} m x {} m", s.area.width(), s.area.height())]);
+    let mut t2 = Table::new(
+        "Table II: parameter setting (performance comparison)",
+        &["name", "value"],
+    );
+    t2.row(vec![
+        "Simulation Time".into(),
+        format!("{} s (one life cycle)", s.sim_time.as_secs()),
+    ]);
+    t2.row(vec![
+        "Field".into(),
+        format!("{} m x {} m", s.area.width(), s.area.height()),
+    ]);
     t2.row(vec!["R".into(), format!("{} m", s.ads[0].radius)]);
-    t2.row(vec!["D".into(), format!("{} s", s.ads[0].duration.as_secs())]);
-    t2.row(vec!["alpha, beta".into(), format!("{}, {}", p.alpha, p.beta)]);
-    t2.row(vec!["Gossiping Round Time".into(), format!("{} s", p.round_time.as_secs())]);
+    t2.row(vec![
+        "D".into(),
+        format!("{} s", s.ads[0].duration.as_secs()),
+    ]);
+    t2.row(vec![
+        "alpha, beta".into(),
+        format!("{}, {}", p.alpha, p.beta),
+    ]);
+    t2.row(vec![
+        "Gossiping Round Time".into(),
+        format!("{} s", p.round_time.as_secs()),
+    ]);
     t2.row(vec!["DIS".into(), format!("{} m (= R/4)", p.dis)]);
-    t2.row(vec!["Transmission range".into(), format!("{} m", s.radio.range)]);
-    t2.row(vec!["Cache capacity k".into(), p.cache_capacity.to_string()]);
-    t2.row(vec!["Speed".into(), format!("{} +/- {} m/s", s.speed_mean, s.speed_delta)]);
+    t2.row(vec![
+        "Transmission range".into(),
+        format!("{} m", s.radio.range),
+    ]);
+    t2.row(vec![
+        "Cache capacity k".into(),
+        p.cache_capacity.to_string(),
+    ]);
+    t2.row(vec![
+        "Speed".into(),
+        format!("{} +/- {} m/s", s.speed_mean, s.speed_delta),
+    ]);
     t2.row(vec!["Network size".into(), "100 .. 1000 peers".into()]);
     println!("{}", t2.render());
 
-    let mut t3 = Table::new("Table III: parameter setting (tuning experiments)", &["name", "value"]);
+    let mut t3 = Table::new(
+        "Table III: parameter setting (tuning experiments)",
+        &["name", "value"],
+    );
     t3.row(vec!["Network size".into(), "300 peers".into()]);
     t3.row(vec!["Speed".into(), "10 +/- 5 m/s".into()]);
     t3.row(vec!["Others".into(), "as Table II".into()]);
@@ -51,7 +81,12 @@ fn main() {
     ]);
     derived.row(vec![
         "Sketch budget".into(),
-        format!("{} x {} = {} bits", p.sketch_f, p.sketch_l, p.sketch_f * p.sketch_l as usize),
+        format!(
+            "{} x {} = {} bits",
+            p.sketch_f,
+            p.sketch_l,
+            p.sketch_f * p.sketch_l as usize
+        ),
     ]);
     println!("{}", derived.render());
 }

@@ -29,10 +29,7 @@ pub fn levels(opts: &Options) -> Vec<(&'static str, Option<ChurnSpec>)> {
         ))
     };
     if opts.quick {
-        vec![
-            ("none", None),
-            ("heavy (50% up)", spec(60.0, 60.0)),
-        ]
+        vec![("none", None), ("heavy (50% up)", spec(60.0, 60.0))]
     } else {
         vec![
             ("none", None),
@@ -105,15 +102,9 @@ mod tests {
 
     #[test]
     fn churn_spec_availability() {
-        let c = ChurnSpec::new(
-            SimDuration::from_secs(60.0),
-            SimDuration::from_secs(60.0),
-        );
+        let c = ChurnSpec::new(SimDuration::from_secs(60.0), SimDuration::from_secs(60.0));
         assert!((c.availability() - 0.5).abs() < 1e-12);
-        let light = ChurnSpec::new(
-            SimDuration::from_secs(300.0),
-            SimDuration::from_secs(30.0),
-        );
+        let light = ChurnSpec::new(SimDuration::from_secs(300.0), SimDuration::from_secs(30.0));
         assert!((light.availability() - 300.0 / 330.0).abs() < 1e-12);
     }
 }

@@ -9,7 +9,7 @@
 //! This experiment quantifies that: frames lost to collisions and the
 //! delivery rate with and without contention.
 
-use super::{Options};
+use super::Options;
 use crate::report::{fmt0, fmt2, Table};
 use crate::runner::{run_seeds, summarize};
 use crate::scenario::Scenario;

@@ -78,7 +78,9 @@ pub fn run_dis(opts: &Options) -> Table {
     let dis_values: Vec<f64> = if opts.quick {
         vec![50.0, 250.0, 500.0]
     } else {
-        vec![50.0, 100.0, 150.0, 200.0, 250.0, 300.0, 400.0, 500.0, 750.0, 1000.0]
+        vec![
+            50.0, 100.0, 150.0, 200.0, 250.0, 300.0, 400.0, 500.0, 750.0, 1000.0,
+        ]
     };
     let mut t = Table::new("Fig 10(c): tuning DIS (DR & messages)", &HEADERS);
     for dis in dis_values {
@@ -126,7 +128,10 @@ mod tests {
         let msgs = t.column_f64(2);
         let lo = msgs.iter().cloned().fold(f64::MAX, f64::min);
         let hi = msgs.iter().cloned().fold(0.0, f64::max);
-        assert!(hi < 10.0 * lo.max(1.0), "message counts wildly spread: {msgs:?}");
+        assert!(
+            hi < 10.0 * lo.max(1.0),
+            "message counts wildly spread: {msgs:?}"
+        );
         let rates = t.column_f64(1);
         assert!(
             rates[0] >= rates[rates.len() - 1] - 5.0,
@@ -145,10 +150,7 @@ mod tests {
             rates[0] < rates[1] + 1e-9,
             "DIS=50 should not beat DIS=250: {rates:?}"
         );
-        assert!(
-            msgs[2] > msgs[0],
-            "messages should grow with DIS: {msgs:?}"
-        );
+        assert!(msgs[2] > msgs[0], "messages should grow with DIS: {msgs:?}");
     }
 
     #[test]

@@ -78,8 +78,8 @@ mod tests {
         let rate = &tables[0];
         let msgs = &tables[2];
         let dense = rate.n_rows() - 1; // largest size = last row
-        // Columns: 1 Flooding, 2 Gossiping, 3 OptGossip2, 4 OptGossip1,
-        // 5 OptGossip (matching ProtocolKind::ALL order).
+                                       // Columns: 1 Flooding, 2 Gossiping, 3 OptGossip2, 4 OptGossip1,
+                                       // 5 OptGossip (matching ProtocolKind::ALL order).
         let flood_msgs = msgs.cell_f64(dense, 1);
         let gossip_msgs = msgs.cell_f64(dense, 2);
         let opt_msgs = msgs.cell_f64(dense, 5);

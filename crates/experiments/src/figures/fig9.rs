@@ -29,10 +29,7 @@ pub const MECHANISMS: [(ProtocolKind, &str); 3] = [
 pub fn run(opts: &Options) -> Vec<Table> {
     let mut headers: Vec<&str> = vec!["peers"];
     headers.extend(MECHANISMS.iter().map(|&(_, label)| label));
-    let mut table = Table::new(
-        "Fig 9: Messages reduced vs pure Gossiping (%)",
-        &headers,
-    );
+    let mut table = Table::new("Fig 9: Messages reduced vs pure Gossiping (%)", &headers);
     for n in sizes(opts) {
         let base = sweep_point(opts, Scenario::paper(ProtocolKind::Gossip, n)).messages_mean;
         let mut row = vec![n.to_string()];

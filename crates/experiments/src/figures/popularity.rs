@@ -72,7 +72,14 @@ pub fn run_network(opts: &Options) -> Table {
 
     let mut t = Table::new(
         "Popularity: network run (popular topic vs niche topic)",
-        &["ad", "rank", "radius_m", "duration_s", "initial_radius_m", "initial_duration_s"],
+        &[
+            "ad",
+            "rank",
+            "radius_m",
+            "duration_s",
+            "initial_radius_m",
+            "initial_duration_s",
+        ],
     );
     for (label, ad) in [("popular", &popular), ("niche", &niche)] {
         t.row(vec![
@@ -173,9 +180,6 @@ mod tests {
             popular_radius > initial_radius,
             "popular ad did not enlarge: {popular_radius} <= {initial_radius}"
         );
-        assert_eq!(
-            niche_radius, niche_initial,
-            "niche ad must not enlarge"
-        );
+        assert_eq!(niche_radius, niche_initial, "niche ad must not enlarge");
     }
 }

@@ -11,8 +11,12 @@
 //! * [`tracker`] — the paper's three metrics (Delivery Rate, Delivery
 //!   Time, Number of Messages), with exact area-entry times computed from
 //!   trajectory/circle intersections;
-//! * [`runner`] — multi-seed execution (parallel via crossbeam) and
-//!   summary statistics;
+//! * [`observer`] — the [`observer::SimObserver`] hook trait and
+//!   [`observer::ObserverBus`]: pluggable per-event instrumentation
+//!   (delivery tracking, traffic timelines, structured traces) kept out
+//!   of the event loop itself;
+//! * [`runner`] — multi-seed execution (parallel via a shared atomic
+//!   work-queue over scoped threads) and summary statistics;
 //! * [`report`] — fixed-width table / CSV output shared by the figure
 //!   binaries;
 //! * [`figures`] — one module per reproduced figure: 7 (network size),
@@ -21,6 +25,7 @@
 //!   (§III-E).
 
 pub mod figures;
+pub mod observer;
 pub mod report;
 pub mod runner;
 pub mod scenario;
@@ -28,7 +33,10 @@ pub mod stats;
 pub mod tracker;
 pub mod world;
 
-pub use runner::{run_scenario, run_seeds, summarize, RunResult, Summary};
+pub use observer::{
+    BroadcastInfo, JsonlTrace, ObserverBus, RoundTraffic, SimObserver, TraceBuffer, TrafficTimeline,
+};
+pub use runner::{run_scenario, run_seeds, run_seeds_with_threads, summarize, RunResult, Summary};
 pub use scenario::{AdSpec, ChurnSpec, MobilityKind, Scenario};
 pub use tracker::DeliveryTracker;
 pub use world::World;

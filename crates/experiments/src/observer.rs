@@ -1,0 +1,571 @@
+//! Pluggable simulation observers.
+//!
+//! The event loop in [`crate::world`] is deliberately thin: it routes
+//! scheduler events into protocol callbacks and applies the resulting
+//! [`ia_core::Action`]s. Everything *about* a run — delivery metrics,
+//! traffic timelines, structured traces — is instrumentation, and lives
+//! behind the [`SimObserver`] hook trait so new measurements never touch
+//! the loop itself. The [`ObserverBus`] fans each hook out to every
+//! attached observer in attachment order.
+//!
+//! Observers are strictly passive: they receive references, never touch
+//! an RNG stream, and cannot reorder events — attaching or removing
+//! observers therefore cannot change a run's outcome (a property pinned
+//! by the determinism tests).
+
+use crate::tracker::DeliveryTracker;
+use ia_core::{AdId, AdMessage, RxMeta};
+use ia_des::{SimDuration, SimTime};
+use std::any::Any;
+use std::cell::RefCell;
+use std::io::Write;
+use std::rc::Rc;
+
+/// Channel outcome of one broadcast, handed to [`SimObserver::on_broadcast`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BroadcastInfo {
+    /// Frame payload size, bytes.
+    pub bytes: usize,
+    /// Successful receptions scheduled for this frame.
+    pub receivers: usize,
+    /// Copies lost to the loss model.
+    pub dropped: u64,
+    /// Copies lost to channel contention.
+    pub collisions: u64,
+}
+
+/// Per-event hooks fired by the simulation world.
+///
+/// Every hook has an empty default body, so observers implement only what
+/// they care about. The `Any` supertrait enables typed retrieval through
+/// [`ObserverBus::get`].
+pub trait SimObserver: Any {
+    /// A node transmitted a frame; `info` carries the channel outcome.
+    fn on_broadcast(&mut self, now: SimTime, node: u32, msg: &AdMessage, info: &BroadcastInfo) {
+        let _ = (now, node, msg, info);
+    }
+    /// A frame arrived at an on-line receiver (before the protocol sees it).
+    fn on_deliver(&mut self, now: SimTime, to: u32, msg: &AdMessage, meta: &RxMeta) {
+        let _ = (now, to, msg, meta);
+    }
+    /// A peer accepted an advertisement into its cache for the first time.
+    fn on_accept(&mut self, now: SimTime, node: u32, ad: AdId) {
+        let _ = (now, node, ad);
+    }
+    /// A frame addressed to an off-line peer was dropped undelivered.
+    fn on_suppress(&mut self, now: SimTime, to: u32, msg: &AdMessage) {
+        let _ = (now, to, msg);
+    }
+    /// A previously stored advertisement was displaced from a peer's cache.
+    fn on_cache_evict(&mut self, now: SimTime, node: u32, ad: AdId) {
+        let _ = (now, node, ad);
+    }
+    /// A peer's periodic gossip/flood round fired.
+    fn on_round(&mut self, now: SimTime, node: u32) {
+        let _ = (now, node);
+    }
+    /// A peer went off-line (churn or issuer departure).
+    fn on_depart(&mut self, now: SimTime, node: u32) {
+        let _ = (now, node);
+    }
+    /// A churned peer came back on-line.
+    fn on_rejoin(&mut self, now: SimTime, node: u32) {
+        let _ = (now, node);
+    }
+}
+
+/// Fans [`SimObserver`] hooks out to every attached observer, in
+/// attachment order, and supports typed retrieval of a concrete observer
+/// (e.g. pulling the [`DeliveryTracker`] back out after a run).
+#[derive(Default)]
+pub struct ObserverBus {
+    observers: Vec<Box<dyn SimObserver>>,
+}
+
+impl ObserverBus {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach an observer; it receives every subsequent hook.
+    pub fn attach(&mut self, observer: Box<dyn SimObserver>) {
+        self.observers.push(observer);
+    }
+
+    pub fn len(&self) -> usize {
+        self.observers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.observers.is_empty()
+    }
+
+    /// The first attached observer of concrete type `T`, if any.
+    pub fn get<T: SimObserver>(&self) -> Option<&T> {
+        self.observers
+            .iter()
+            .find_map(|o| (o.as_ref() as &dyn Any).downcast_ref::<T>())
+    }
+
+    /// Mutable variant of [`ObserverBus::get`].
+    pub fn get_mut<T: SimObserver>(&mut self) -> Option<&mut T> {
+        self.observers
+            .iter_mut()
+            .find_map(|o| (o.as_mut() as &mut dyn Any).downcast_mut::<T>())
+    }
+
+    pub fn broadcast(&mut self, now: SimTime, node: u32, msg: &AdMessage, info: &BroadcastInfo) {
+        for o in &mut self.observers {
+            o.on_broadcast(now, node, msg, info);
+        }
+    }
+
+    pub fn deliver(&mut self, now: SimTime, to: u32, msg: &AdMessage, meta: &RxMeta) {
+        for o in &mut self.observers {
+            o.on_deliver(now, to, msg, meta);
+        }
+    }
+
+    pub fn accept(&mut self, now: SimTime, node: u32, ad: AdId) {
+        for o in &mut self.observers {
+            o.on_accept(now, node, ad);
+        }
+    }
+
+    pub fn suppress(&mut self, now: SimTime, to: u32, msg: &AdMessage) {
+        for o in &mut self.observers {
+            o.on_suppress(now, to, msg);
+        }
+    }
+
+    pub fn cache_evict(&mut self, now: SimTime, node: u32, ad: AdId) {
+        for o in &mut self.observers {
+            o.on_cache_evict(now, node, ad);
+        }
+    }
+
+    pub fn round(&mut self, now: SimTime, node: u32) {
+        for o in &mut self.observers {
+            o.on_round(now, node);
+        }
+    }
+
+    pub fn depart(&mut self, now: SimTime, node: u32) {
+        for o in &mut self.observers {
+            o.on_depart(now, node);
+        }
+    }
+
+    pub fn rejoin(&mut self, now: SimTime, node: u32) {
+        for o in &mut self.observers {
+            o.on_rejoin(now, node);
+        }
+    }
+}
+
+impl std::fmt::Debug for ObserverBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObserverBus")
+            .field("observers", &self.observers.len())
+            .finish()
+    }
+}
+
+/// The delivery tracker is itself an observer: it consumes acceptance
+/// hooks only, never the world's internals.
+impl SimObserver for DeliveryTracker {
+    fn on_accept(&mut self, now: SimTime, node: u32, ad: AdId) {
+        self.record_receipt(node, ad, now);
+    }
+}
+
+/// Traffic aggregated over one timeline bucket (one protocol round by
+/// default).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundTraffic {
+    /// Broadcast transmissions started in this bucket.
+    pub messages: u64,
+    /// Payload bytes of those transmissions.
+    pub bytes: u64,
+    /// Successful receptions they produced.
+    pub receptions: u64,
+    /// Copies lost to collisions.
+    pub collisions: u64,
+}
+
+/// Per-round traffic timeline: bins every broadcast into fixed-width time
+/// buckets, giving the message/byte/collision profile over an
+/// advertisement's life cycle (the paper reports only the end-of-run
+/// total; the timeline shows *when* each protocol spends its messages).
+#[derive(Debug, Clone)]
+pub struct TrafficTimeline {
+    bucket: SimDuration,
+    rounds: Vec<RoundTraffic>,
+}
+
+impl TrafficTimeline {
+    /// Bin into buckets of width `bucket` (commonly the protocol round
+    /// time).
+    pub fn new(bucket: SimDuration) -> Self {
+        assert!(!bucket.is_zero(), "zero timeline bucket");
+        TrafficTimeline {
+            bucket,
+            rounds: Vec::new(),
+        }
+    }
+
+    fn slot(&mut self, now: SimTime) -> &mut RoundTraffic {
+        let idx = (now.since(SimTime::ZERO).as_secs() / self.bucket.as_secs()).floor() as usize;
+        if idx >= self.rounds.len() {
+            self.rounds.resize(idx + 1, RoundTraffic::default());
+        }
+        &mut self.rounds[idx]
+    }
+
+    /// Bucket width.
+    pub fn bucket(&self) -> SimDuration {
+        self.bucket
+    }
+
+    /// One entry per bucket from t = 0 to the last observed broadcast.
+    pub fn rounds(&self) -> &[RoundTraffic] {
+        &self.rounds
+    }
+
+    /// Sum of per-bucket message counts (equals the medium's total).
+    pub fn total_messages(&self) -> u64 {
+        self.rounds.iter().map(|r| r.messages).sum()
+    }
+
+    /// Sum of per-bucket payload bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.rounds.iter().map(|r| r.bytes).sum()
+    }
+
+    /// The busiest bucket: `(index, traffic)`, ties to the earliest.
+    pub fn peak(&self) -> Option<(usize, RoundTraffic)> {
+        self.rounds
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.messages.cmp(&b.1.messages).then(b.0.cmp(&a.0)))
+            .map(|(i, r)| (i, *r))
+    }
+
+    /// CSV dump (`round,t_start_s,messages,bytes,receptions,collisions`)
+    /// for figure scripts.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("round,t_start_s,messages,bytes,receptions,collisions\n");
+        for (i, r) in self.rounds.iter().enumerate() {
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                i,
+                i as f64 * self.bucket.as_secs(),
+                r.messages,
+                r.bytes,
+                r.receptions,
+                r.collisions
+            ));
+        }
+        out
+    }
+}
+
+impl SimObserver for TrafficTimeline {
+    fn on_broadcast(&mut self, now: SimTime, _node: u32, _msg: &AdMessage, info: &BroadcastInfo) {
+        let slot = self.slot(now);
+        slot.messages += 1;
+        slot.bytes += info.bytes as u64;
+        slot.receptions += info.receivers as u64;
+        slot.collisions += info.collisions;
+    }
+}
+
+/// Shared in-memory sink for [`JsonlTrace`], used by tests and tools that
+/// want to inspect the trace after a run.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuffer(Rc<RefCell<Vec<u8>>>);
+
+impl TraceBuffer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The trace captured so far, as UTF-8 text.
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.0.borrow()).into_owned()
+    }
+}
+
+impl Write for TraceBuffer {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.borrow_mut().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Structured trace writer: one JSON object per line (JSONL), one line
+/// per hook. Opt-in via [`crate::scenario::Scenario::with_trace_path`] or
+/// by attaching directly; tracing is instrumentation only and never
+/// changes a run's outcome.
+///
+/// All values are numbers or fixed-vocabulary strings (`ad3.0`,
+/// `broadcast`), so the writer needs no escaping machinery.
+pub struct JsonlTrace {
+    out: Box<dyn Write>,
+}
+
+impl JsonlTrace {
+    /// Trace into any writer (file, buffer, pipe).
+    pub fn new(out: impl Write + 'static) -> Self {
+        JsonlTrace { out: Box::new(out) }
+    }
+
+    /// Trace into a freshly created file at `path` (buffered).
+    pub fn to_file(path: &std::path::Path) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::new(std::io::BufWriter::new(file)))
+    }
+
+    /// Trace into memory; returns the trace plus a handle for reading the
+    /// captured text back.
+    pub fn in_memory() -> (Self, TraceBuffer) {
+        let buffer = TraceBuffer::new();
+        (Self::new(buffer.clone()), buffer)
+    }
+
+    fn line(&mut self, args: std::fmt::Arguments<'_>) {
+        // A full trace disk is not a simulation error: drop the line.
+        let _ = self.out.write_fmt(args);
+    }
+}
+
+impl std::fmt::Debug for JsonlTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JsonlTrace")
+    }
+}
+
+impl SimObserver for JsonlTrace {
+    fn on_broadcast(&mut self, now: SimTime, node: u32, msg: &AdMessage, info: &BroadcastInfo) {
+        self.line(format_args!(
+            "{{\"t\":{},\"ev\":\"broadcast\",\"node\":{},\"ad\":\"{}\",\"bytes\":{},\"receivers\":{},\"dropped\":{},\"collisions\":{}}}\n",
+            now.as_secs(), node, msg.ad.id, info.bytes, info.receivers, info.dropped, info.collisions
+        ));
+    }
+
+    fn on_deliver(&mut self, now: SimTime, to: u32, msg: &AdMessage, meta: &RxMeta) {
+        self.line(format_args!(
+            "{{\"t\":{},\"ev\":\"deliver\",\"node\":{},\"ad\":\"{}\",\"from\":{},\"distance\":{:.1}}}\n",
+            now.as_secs(),
+            to,
+            msg.ad.id,
+            meta.from,
+            meta.distance
+        ));
+    }
+
+    fn on_accept(&mut self, now: SimTime, node: u32, ad: AdId) {
+        self.line(format_args!(
+            "{{\"t\":{},\"ev\":\"accept\",\"node\":{},\"ad\":\"{}\"}}\n",
+            now.as_secs(),
+            node,
+            ad
+        ));
+    }
+
+    fn on_suppress(&mut self, now: SimTime, to: u32, msg: &AdMessage) {
+        self.line(format_args!(
+            "{{\"t\":{},\"ev\":\"suppress\",\"node\":{},\"ad\":\"{}\"}}\n",
+            now.as_secs(),
+            to,
+            msg.ad.id
+        ));
+    }
+
+    fn on_cache_evict(&mut self, now: SimTime, node: u32, ad: AdId) {
+        self.line(format_args!(
+            "{{\"t\":{},\"ev\":\"evict\",\"node\":{},\"ad\":\"{}\"}}\n",
+            now.as_secs(),
+            node,
+            ad
+        ));
+    }
+
+    fn on_depart(&mut self, now: SimTime, node: u32) {
+        self.line(format_args!(
+            "{{\"t\":{},\"ev\":\"depart\",\"node\":{}}}\n",
+            now.as_secs(),
+            node
+        ));
+    }
+
+    fn on_rejoin(&mut self, now: SimTime, node: u32) {
+        self.line(format_args!(
+            "{{\"t\":{},\"ev\":\"rejoin\",\"node\":{}}}\n",
+            now.as_secs(),
+            node
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ia_core::{Advertisement, GossipParams, PeerId};
+    use ia_geo::Point;
+
+    fn msg() -> AdMessage {
+        let ad = Advertisement::new(
+            AdId::new(PeerId(9), 0),
+            Point::new(0.0, 0.0),
+            SimTime::ZERO,
+            100.0,
+            SimDuration::from_secs(100.0),
+            vec![1],
+            50,
+            &GossipParams::paper(),
+        );
+        AdMessage::gossip(ad)
+    }
+
+    fn info(bytes: usize, receivers: usize, collisions: u64) -> BroadcastInfo {
+        BroadcastInfo {
+            bytes,
+            receivers,
+            dropped: 0,
+            collisions,
+        }
+    }
+
+    /// Counts every hook invocation (also the test double for fan-out).
+    #[derive(Default)]
+    struct Counter {
+        broadcasts: usize,
+        delivers: usize,
+        accepts: usize,
+        suppresses: usize,
+        evicts: usize,
+        rounds: usize,
+        departs: usize,
+        rejoins: usize,
+    }
+
+    impl SimObserver for Counter {
+        fn on_broadcast(&mut self, _: SimTime, _: u32, _: &AdMessage, _: &BroadcastInfo) {
+            self.broadcasts += 1;
+        }
+        fn on_deliver(&mut self, _: SimTime, _: u32, _: &AdMessage, _: &RxMeta) {
+            self.delivers += 1;
+        }
+        fn on_accept(&mut self, _: SimTime, _: u32, _: AdId) {
+            self.accepts += 1;
+        }
+        fn on_suppress(&mut self, _: SimTime, _: u32, _: &AdMessage) {
+            self.suppresses += 1;
+        }
+        fn on_cache_evict(&mut self, _: SimTime, _: u32, _: AdId) {
+            self.evicts += 1;
+        }
+        fn on_round(&mut self, _: SimTime, _: u32) {
+            self.rounds += 1;
+        }
+        fn on_depart(&mut self, _: SimTime, _: u32) {
+            self.departs += 1;
+        }
+        fn on_rejoin(&mut self, _: SimTime, _: u32) {
+            self.rejoins += 1;
+        }
+    }
+
+    #[test]
+    fn bus_fans_out_every_hook_and_supports_typed_retrieval() {
+        let mut bus = ObserverBus::new();
+        bus.attach(Box::new(Counter::default()));
+        bus.attach(Box::new(TrafficTimeline::new(SimDuration::from_secs(5.0))));
+        assert_eq!(bus.len(), 2);
+
+        let m = msg();
+        let t = SimTime::from_secs(1.0);
+        let meta = RxMeta {
+            sender_pos: Point::new(0.0, 0.0),
+            from: 1,
+            distance: 10.0,
+        };
+        bus.broadcast(t, 1, &m, &info(50, 2, 0));
+        bus.deliver(t, 2, &m, &meta);
+        bus.accept(t, 2, m.ad.id);
+        bus.suppress(t, 3, &m);
+        bus.cache_evict(t, 2, m.ad.id);
+        bus.round(t, 1);
+        bus.depart(t, 4);
+        bus.rejoin(t, 4);
+
+        let c = bus.get::<Counter>().expect("counter attached");
+        assert_eq!(
+            (c.broadcasts, c.delivers, c.accepts, c.suppresses),
+            (1, 1, 1, 1)
+        );
+        assert_eq!((c.evicts, c.rounds, c.departs, c.rejoins), (1, 1, 1, 1));
+        let tl = bus.get::<TrafficTimeline>().expect("timeline attached");
+        assert_eq!(tl.total_messages(), 1);
+        assert!(bus.get::<JsonlTrace>().is_none());
+    }
+
+    #[test]
+    fn timeline_bins_by_bucket_and_sums() {
+        let mut tl = TrafficTimeline::new(SimDuration::from_secs(5.0));
+        let m = msg();
+        tl.on_broadcast(SimTime::from_secs(0.0), 0, &m, &info(100, 1, 0));
+        tl.on_broadcast(SimTime::from_secs(4.9), 1, &m, &info(100, 0, 2));
+        tl.on_broadcast(SimTime::from_secs(17.0), 2, &m, &info(60, 3, 0));
+        assert_eq!(tl.rounds().len(), 4); // buckets 0..=3
+        assert_eq!(tl.rounds()[0].messages, 2);
+        assert_eq!(tl.rounds()[0].bytes, 200);
+        assert_eq!(tl.rounds()[0].collisions, 2);
+        assert_eq!(tl.rounds()[1].messages, 0);
+        assert_eq!(tl.rounds()[3].receptions, 3);
+        assert_eq!(tl.total_messages(), 3);
+        assert_eq!(tl.total_bytes(), 260);
+        assert_eq!(tl.peak().expect("nonempty").0, 0);
+        let csv = tl.to_csv();
+        assert!(csv.starts_with("round,t_start_s,"));
+        assert_eq!(csv.lines().count(), 5); // header + 4 buckets
+        assert!(csv.contains("\n3,15,1,60,3,0\n"));
+    }
+
+    #[test]
+    fn jsonl_trace_writes_one_parseable_line_per_hook() {
+        let (mut trace, buffer) = JsonlTrace::in_memory();
+        let m = msg();
+        trace.on_broadcast(SimTime::from_secs(2.5), 7, &m, &info(50, 1, 0));
+        trace.on_accept(SimTime::from_secs(3.0), 8, m.ad.id);
+        trace.on_depart(SimTime::from_secs(4.0), 9);
+        let text = buffer.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert_eq!(
+            lines[0],
+            "{\"t\":2.5,\"ev\":\"broadcast\",\"node\":7,\"ad\":\"ad9.0\",\"bytes\":50,\"receivers\":1,\"dropped\":0,\"collisions\":0}"
+        );
+        assert!(lines[1].contains("\"ev\":\"accept\""));
+        assert!(lines[2].contains("\"ev\":\"depart\""));
+    }
+
+    #[test]
+    fn delivery_tracker_listens_on_accept() {
+        use crate::scenario::AdSpec;
+        use ia_mobility::{Fleet, Trajectory};
+        let end = SimTime::from_secs(600.0);
+        let inside = Trajectory::stationary(Point::new(2500.0, 2500.0), SimTime::ZERO, end);
+        let fleet = Fleet::from_trajectories(vec![inside]);
+        let id = AdId::new(PeerId(1), 0);
+        let mut tracker = DeliveryTracker::new(&fleet, 1, &[(id, AdSpec::paper())]);
+        tracker.on_accept(SimTime::from_secs(20.0), 0, id);
+        assert!(tracker.has_received(0, id));
+    }
+}

@@ -53,14 +53,16 @@ impl Table {
 
     /// Parse a numeric cell.
     pub fn cell_f64(&self, row: usize, col: usize) -> f64 {
-        self.cell(row, col)
-            .parse()
-            .unwrap_or_else(|_| panic!("cell ({row},{col}) = '{}' not numeric", self.cell(row, col)))
+        self.cell(row, col).parse().unwrap_or_else(|_| {
+            panic!("cell ({row},{col}) = '{}' not numeric", self.cell(row, col))
+        })
     }
 
     /// Column of parsed numbers.
     pub fn column_f64(&self, col: usize) -> Vec<f64> {
-        (0..self.rows.len()).map(|r| self.cell_f64(r, col)).collect()
+        (0..self.rows.len())
+            .map(|r| self.cell_f64(r, col))
+            .collect()
     }
 
     /// Render as an aligned fixed-width table.
@@ -103,7 +105,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(

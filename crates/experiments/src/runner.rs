@@ -57,36 +57,53 @@ pub fn run_scenario(scenario: &Scenario) -> RunResult {
     }
 }
 
-/// Execute the scenario once per seed, in parallel (one thread per seed,
-/// bounded by the machine's parallelism via crossbeam's scoped threads in
-/// simple chunks).
+/// Execute the scenario once per seed, in parallel, with the worker count
+/// bounded by the machine's parallelism.
 pub fn run_seeds(scenario: &Scenario, seeds: &[u64]) -> Vec<RunResult> {
-    if seeds.len() <= 1 {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    run_seeds_with_threads(scenario, seeds, threads)
+}
+
+/// Execute the scenario once per seed across exactly `threads` workers.
+///
+/// Workers pull seed indices from a shared atomic queue, so uneven
+/// per-seed run times never idle a thread (the previous implementation
+/// pre-chunked the seed list, which both mis-sliced when
+/// `seeds.len() % threads != 0` and pinned slow seeds to one worker).
+/// Results come back in seed order — index `i` is always `seeds[i]` —
+/// regardless of which worker ran which seed.
+pub fn run_seeds_with_threads(
+    scenario: &Scenario,
+    seeds: &[u64],
+    threads: usize,
+) -> Vec<RunResult> {
+    let threads = threads.clamp(1, seeds.len().max(1));
+    if seeds.len() <= 1 || threads == 1 {
         return seeds
             .iter()
             .map(|&s| run_scenario(&scenario.clone().with_seed(s)))
             .collect();
     }
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(seeds.len());
-    let mut results: Vec<Option<RunResult>> = vec![None; seeds.len()];
-    crossbeam::thread::scope(|scope| {
-        for (chunk_idx, chunk) in results.chunks_mut(seeds.len().div_ceil(threads)).enumerate() {
-            let chunk_size = seeds.len().div_ceil(threads);
-            let start = chunk_idx * chunk_size;
-            let seeds = &seeds[start..(start + chunk.len()).min(seeds.len())];
-            let scenario = scenario.clone();
-            scope.spawn(move |_| {
-                for (slot, &seed) in chunk.iter_mut().zip(seeds) {
-                    *slot = Some(run_scenario(&scenario.clone().with_seed(seed)));
-                }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::OnceLock<RunResult>> = (0..seeds.len())
+        .map(|_| std::sync::OnceLock::new())
+        .collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&seed) = seeds.get(i) else { break };
+                let result = run_scenario(&scenario.clone().with_seed(seed));
+                slots[i].set(result).expect("seed slot claimed twice");
             });
         }
-    })
-    .expect("seed-sweep thread panicked");
-    results.into_iter().map(|r| r.expect("missing run")).collect()
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("missing run"))
+        .collect()
 }
 
 /// Mean/stddev summary over a seed sweep.
@@ -166,6 +183,29 @@ mod tests {
     }
 
     #[test]
+    fn work_queue_yields_every_seed_in_order_for_any_thread_count() {
+        let s = tiny(30);
+        let seeds: Vec<u64> = (100..107).collect();
+        let baseline: Vec<RunResult> = seeds
+            .iter()
+            .map(|&seed| run_scenario(&s.clone().with_seed(seed)))
+            .collect();
+        // 7 seeds across thread counts that divide unevenly (and one
+        // larger than the seed count) — the old chunked implementation
+        // mis-sliced exactly these shapes.
+        for threads in [1, 2, 3, 5, 16] {
+            let sweep = run_seeds_with_threads(&s, &seeds, threads);
+            assert_eq!(sweep.len(), seeds.len(), "threads={threads}");
+            assert_eq!(sweep, baseline, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn work_queue_handles_empty_seed_list() {
+        assert!(run_seeds_with_threads(&tiny(30), &[], 4).is_empty());
+    }
+
+    #[test]
     fn summarize_computes_mean_and_std() {
         let s = tiny(40);
         let sweep = run_seeds(&s, &[1, 2, 3, 4]);
@@ -175,8 +215,14 @@ mod tests {
         assert!(sum.delivery_rate_mean >= 0.0);
         assert!(sum.messages_std >= 0.0);
         // Mean must sit inside the observed range.
-        let lo = sweep.iter().map(|r| r.messages() as f64).fold(f64::MAX, f64::min);
-        let hi = sweep.iter().map(|r| r.messages() as f64).fold(0.0, f64::max);
+        let lo = sweep
+            .iter()
+            .map(|r| r.messages() as f64)
+            .fold(f64::MAX, f64::min);
+        let hi = sweep
+            .iter()
+            .map(|r| r.messages() as f64)
+            .fold(0.0, f64::max);
         assert!(sum.messages_mean >= lo && sum.messages_mean <= hi);
     }
 

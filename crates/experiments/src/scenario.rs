@@ -66,7 +66,10 @@ pub struct ChurnSpec {
 
 impl ChurnSpec {
     pub fn new(mean_up: SimDuration, mean_down: SimDuration) -> Self {
-        assert!(!mean_up.is_zero() && !mean_down.is_zero(), "zero churn period");
+        assert!(
+            !mean_up.is_zero() && !mean_down.is_zero(),
+            "zero churn period"
+        );
         ChurnSpec { mean_up, mean_down }
     }
 
@@ -120,6 +123,12 @@ pub struct Scenario {
     /// Optional device churn applied to every *mobile* peer (issuers are
     /// governed by `issuer_offline_after` instead).
     pub churn: Option<ChurnSpec>,
+    /// If set, the world attaches a JSONL trace observer writing every
+    /// simulation event to this path. A literal `{seed}` in the path is
+    /// replaced by the run's seed, so multi-seed sweeps don't clobber one
+    /// file. Tracing is instrumentation only: it never changes a run's
+    /// outcome.
+    pub trace_path: Option<std::path::PathBuf>,
     /// Master seed; every RNG stream in the run derives from it.
     pub seed: u64,
 }
@@ -145,6 +154,7 @@ impl Scenario {
             interests: InterestWorkload::None,
             issuer_offline_after: None,
             churn: None,
+            trace_path: None,
             seed: 42,
         }
     }
@@ -188,6 +198,24 @@ impl Scenario {
     pub fn with_churn(mut self, churn: ChurnSpec) -> Self {
         self.churn = Some(churn);
         self
+    }
+
+    /// Write a JSONL event trace to `path` (see
+    /// [`Scenario::trace_path`] for the `{seed}` placeholder).
+    pub fn with_trace_path(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.trace_path = Some(path.into());
+        self
+    }
+
+    /// The trace file for this scenario's seed, with any `{seed}`
+    /// placeholder substituted. `None` when tracing is off.
+    pub fn trace_file(&self) -> Option<std::path::PathBuf> {
+        self.trace_path.as_ref().map(|p| {
+            std::path::PathBuf::from(
+                p.to_string_lossy()
+                    .replace("{seed}", &self.seed.to_string()),
+            )
+        })
     }
 
     /// Rescale the run to a shorter (or longer) advertisement life cycle.

@@ -1,15 +1,24 @@
 //! The simulation world: protocols x mobility x radio x scheduler.
+//!
+//! The world is a thin orchestrator: it routes scheduler events into
+//! protocol callbacks through a single reused [`ActionSink`] (so the
+//! steady-state dispatch path allocates nothing), applies the resulting
+//! actions, and fans every observable moment out to the
+//! [`ObserverBus`]. All measurement — delivery metrics, traffic
+//! timelines, traces — lives in [`crate::observer`] implementations, not
+//! here.
 
+use crate::observer::{BroadcastInfo, JsonlTrace, ObserverBus, SimObserver, TrafficTimeline};
 use crate::scenario::{InterestWorkload, MobilityKind, Scenario};
 use crate::tracker::DeliveryTracker;
 use ia_core::{
-    build_protocol, Action, AdId, AdMessage, Advertisement, PeerContext, PeerId, Protocol, RxMeta,
-    UserProfile,
+    build_protocol, Action, ActionSink, AdId, AdMessage, Advertisement, PeerContext, PeerId,
+    Protocol, RxMeta, UserProfile,
 };
 use ia_des::{rng::stream, Scheduler, SimDuration, SimRng, SimTime};
 use ia_mobility::{Fleet, Manhattan, MobilityModel, RandomWaypoint, Stationary};
 use ia_radio::Medium;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Events driving one run.
 enum Event {
@@ -21,7 +30,7 @@ enum Event {
     Entry(u32, AdId),
     /// Frame arrival at a receiver.
     Deliver {
-        msg: Rc<AdMessage>,
+        msg: Arc<AdMessage>,
         meta: RxMeta,
         to: u32,
     },
@@ -44,7 +53,10 @@ pub struct World {
     peers: Vec<Box<dyn Protocol>>,
     rngs: Vec<SimRng>,
     radio_rng: SimRng,
-    tracker: DeliveryTracker,
+    bus: ObserverBus,
+    /// The one action buffer every protocol callback pushes into; drained
+    /// by `apply` and reused, so dispatch never allocates at steady state.
+    sink: ActionSink,
     ad_ids: Vec<AdId>,
     /// Per-node online flag; departed nodes are radio-silent and ignore
     /// timers.
@@ -68,12 +80,9 @@ impl World {
         let mut trajectories = Vec::with_capacity(scenario.n_nodes());
         match scenario.mobility {
             MobilityKind::RandomWaypoint => {
-                let model = RandomWaypoint::paper(
-                    scenario.area,
-                    scenario.speed_mean,
-                    scenario.speed_delta,
-                )
-                .with_pause(0.0, scenario.pause_max);
+                let model =
+                    RandomWaypoint::paper(scenario.area, scenario.speed_mean, scenario.speed_delta)
+                        .with_pause(0.0, scenario.pause_max);
                 for i in 0..scenario.n_peers {
                     let mut rng = SimRng::derive(scenario.seed, stream::MOBILITY | i as u64);
                     trajectories.push(model.trajectory(&mut rng, start, end));
@@ -106,7 +115,10 @@ impl World {
                 scenario.params.clone(),
                 profile,
             ));
-            rngs.push(SimRng::derive(scenario.seed, stream::PROTOCOL | node as u64));
+            rngs.push(SimRng::derive(
+                scenario.seed,
+                stream::PROTOCOL | node as u64,
+            ));
         }
 
         let medium = Medium::new(scenario.radio.clone());
@@ -127,8 +139,7 @@ impl World {
             // Pre-generate each mobile peer's up/down timeline from its
             // own stream (exponential periods, memoryless process).
             for node in 0..scenario.n_peers as u32 {
-                let mut rng =
-                    SimRng::derive(scenario.seed, stream::WORKLOAD | node as u64);
+                let mut rng = SimRng::derive(scenario.seed, stream::WORKLOAD | node as u64);
                 let exp = |rng: &mut SimRng, mean: SimDuration| {
                     let u = rng.unit().max(1e-12);
                     mean.mul_f64(-u.ln())
@@ -158,7 +169,18 @@ impl World {
             .copied()
             .zip(scenario.ads.iter().cloned())
             .collect();
-        let tracker = DeliveryTracker::new(&fleet, scenario.n_peers, &specs);
+        let mut bus = ObserverBus::new();
+        bus.attach(Box::new(DeliveryTracker::new(
+            &fleet,
+            scenario.n_peers,
+            &specs,
+        )));
+        bus.attach(Box::new(TrafficTimeline::new(scenario.params.round_time)));
+        if let Some(path) = scenario.trace_file() {
+            let trace = JsonlTrace::to_file(&path)
+                .unwrap_or_else(|e| panic!("cannot open trace file {}: {e}", path.display()));
+            bus.attach(Box::new(trace));
+        }
         let online = vec![true; scenario.n_nodes()];
 
         World {
@@ -169,10 +191,25 @@ impl World {
             sched,
             peers,
             rngs,
-            tracker,
+            bus,
+            sink: ActionSink::new(),
             ad_ids,
             online,
         }
+    }
+
+    /// Attach an additional [`SimObserver`]; it receives every hook from
+    /// this point on. Attach before [`World::run`] to see the whole run.
+    /// Observers are passive, so the simulated outcome is identical with
+    /// any observer set.
+    pub fn attach_observer(&mut self, observer: Box<dyn SimObserver>) {
+        self.bus.attach(observer);
+    }
+
+    /// Typed access to an attached observer (e.g.
+    /// `world.observer::<TrafficTimeline>()`).
+    pub fn observer<T: SimObserver>(&self) -> Option<&T> {
+        self.bus.get::<T>()
     }
 
     fn profile_for(scenario: &Scenario, node: u32) -> UserProfile {
@@ -236,7 +273,8 @@ impl World {
 
     fn handle(&mut self, ev: Event) {
         let now = self.sched.now();
-        // Departed nodes drop everything addressed to them.
+        // Departed nodes drop everything addressed to them; a dropped
+        // frame delivery is the one observable case (on_suppress).
         let target = match &ev {
             Event::Start(n) | Event::Round(n) | Event::Entry(n, _) => Some(*n),
             Event::Deliver { to, .. } => Some(*to),
@@ -245,35 +283,43 @@ impl World {
         };
         if let Some(n) = target {
             if !self.online[n as usize] {
+                if let Event::Deliver { msg, to, .. } = &ev {
+                    self.bus.suppress(now, *to, msg);
+                }
                 return;
             }
         }
         match ev {
             Event::Depart(node) => {
-                self.online[node as usize] = false;
+                if self.online[node as usize] {
+                    self.online[node as usize] = false;
+                    self.bus.depart(now, node);
+                }
             }
             Event::Rejoin(node) => {
                 if !self.online[node as usize] {
                     self.online[node as usize] = true;
-                    let actions = self.with_ctx(node, now, |peer, ctx| peer.on_start(ctx));
-                    self.apply(node, now, actions);
+                    self.bus.rejoin(now, node);
+                    self.dispatch(node, now, |peer, ctx, out| peer.on_start(ctx, out));
                 }
             }
             Event::Start(node) => {
-                let actions = self.with_ctx(node, now, |peer, ctx| peer.on_start(ctx));
-                self.apply(node, now, actions);
+                self.dispatch(node, now, |peer, ctx, out| peer.on_start(ctx, out));
             }
             Event::Round(node) => {
-                let actions = self.with_ctx(node, now, |peer, ctx| peer.on_round(ctx));
-                self.apply(node, now, actions);
+                self.bus.round(now, node);
+                self.dispatch(node, now, |peer, ctx, out| peer.on_round(ctx, out));
             }
             Event::Entry(node, ad) => {
-                let actions = self.with_ctx(node, now, |peer, ctx| peer.on_entry_timer(ctx, ad));
-                self.apply(node, now, actions);
+                self.dispatch(node, now, |peer, ctx, out| {
+                    peer.on_entry_timer(ctx, ad, out)
+                });
             }
             Event::Deliver { msg, meta, to } => {
-                let actions = self.with_ctx(to, now, |peer, ctx| peer.on_receive(ctx, &msg, &meta));
-                self.apply(to, now, actions);
+                self.bus.deliver(now, to, &msg, &meta);
+                self.dispatch(to, now, |peer, ctx, out| {
+                    peer.on_receive(ctx, &msg, &meta, out)
+                });
             }
             Event::Issue { index } => {
                 let node = self.scenario.issuer_node(index);
@@ -288,10 +334,25 @@ impl World {
                     spec.payload_bytes,
                     &self.scenario.params,
                 );
-                let actions = self.with_ctx(node, now, |peer, ctx| peer.issue(ctx, ad));
-                self.apply(node, now, actions);
+                self.dispatch(node, now, |peer, ctx, out| peer.issue(ctx, ad, out));
             }
         }
+    }
+
+    /// Run one protocol callback against the shared action sink, then
+    /// apply whatever it pushed. The sink is moved out for the duration
+    /// of the call (so `apply` can borrow the rest of `self`) and moved
+    /// back with its capacity intact — no allocation at steady state.
+    fn dispatch(
+        &mut self,
+        node: u32,
+        now: SimTime,
+        f: impl FnOnce(&mut dyn Protocol, &mut PeerContext<'_>, &mut ActionSink),
+    ) {
+        let mut sink = std::mem::take(&mut self.sink);
+        self.with_ctx(node, now, |peer, ctx| f(peer, ctx, &mut sink));
+        self.apply(node, now, &mut sink);
+        self.sink = sink;
     }
 
     fn with_ctx<R>(
@@ -313,20 +374,29 @@ impl World {
         f(self.peers[node as usize].as_mut(), &mut ctx)
     }
 
-    fn apply(&mut self, node: u32, now: SimTime, actions: Vec<Action>) {
-        for action in actions {
+    fn apply(&mut self, node: u32, now: SimTime, sink: &mut ActionSink) {
+        for action in sink.drain() {
             match action {
                 Action::Broadcast(msg) => {
                     let bytes = msg.bytes();
+                    let before = self.medium.stats().clone();
                     let deliveries =
                         self.medium
                             .broadcast(&self.fleet, now, node, bytes, &mut self.radio_rng);
-                    let shared = Rc::new(msg);
+                    let after = self.medium.stats();
+                    let info = BroadcastInfo {
+                        bytes,
+                        receivers: deliveries.len(),
+                        dropped: after.drops - before.drops,
+                        collisions: after.collisions - before.collisions,
+                    };
+                    let shared = Arc::new(msg);
+                    self.bus.broadcast(now, node, &shared, &info);
                     for d in deliveries {
                         self.sched.schedule_at(
                             d.arrival,
                             Event::Deliver {
-                                msg: Rc::clone(&shared),
+                                msg: Arc::clone(&shared),
                                 meta: RxMeta {
                                     sender_pos: d.sender_pos,
                                     from: d.from,
@@ -344,7 +414,10 @@ impl World {
                     self.sched.schedule_at(at.max(now), Event::Entry(node, ad));
                 }
                 Action::Accepted { ad } => {
-                    self.tracker.record_receipt(node, ad, now);
+                    self.bus.accept(now, node, ad);
+                }
+                Action::CacheEvicted { ad } => {
+                    self.bus.cache_evict(now, node, ad);
                 }
             }
         }
@@ -352,7 +425,16 @@ impl World {
 
     /// Accessors for the runner.
     pub fn tracker(&self) -> &DeliveryTracker {
-        &self.tracker
+        self.bus
+            .get::<DeliveryTracker>()
+            .expect("delivery tracker is always attached")
+    }
+
+    /// The default per-round traffic timeline observer.
+    pub fn timeline(&self) -> &TrafficTimeline {
+        self.bus
+            .get::<TrafficTimeline>()
+            .expect("traffic timeline is always attached")
     }
 
     pub fn medium(&self) -> &Medium {
@@ -410,10 +492,7 @@ mod tests {
         for kind in ProtocolKind::ALL {
             let mut w = World::new(tiny(kind, 50, 1));
             w.run();
-            assert!(
-                w.medium().stats().messages > 0,
-                "{kind}: no traffic at all"
-            );
+            assert!(w.medium().stats().messages > 0, "{kind}: no traffic at all");
         }
     }
 
@@ -563,6 +642,150 @@ mod tests {
         // All positions inside the field.
         let area = w.scenario().area;
         assert!(snap.iter().all(|(p, _, _)| area.contains(*p)));
+    }
+
+    #[test]
+    fn timeline_observer_agrees_with_medium_totals() {
+        let mut w = World::new(tiny(ProtocolKind::Gossip, 80, 31));
+        w.run();
+        let tl = w.timeline();
+        assert_eq!(tl.bucket(), w.scenario().params.round_time);
+        assert_eq!(tl.total_messages(), w.medium().stats().messages);
+        assert_eq!(tl.total_bytes(), w.medium().stats().bytes_sent);
+        assert!(tl.rounds().len() > 1, "traffic should span many rounds");
+        // The issue instant (t = 10 s, bucket 2 at a 5 s round time) is
+        // the first bucket with any traffic.
+        let first_active = tl.rounds().iter().position(|r| r.messages > 0);
+        assert_eq!(first_active, Some(2));
+    }
+
+    /// Counts hook invocations; used to probe the world's fan-out.
+    #[derive(Default)]
+    struct HookCounter {
+        broadcasts: usize,
+        delivers: usize,
+        accepts: usize,
+        suppresses: usize,
+        rounds: usize,
+        departs: usize,
+        rejoins: usize,
+    }
+
+    impl crate::observer::SimObserver for HookCounter {
+        fn on_broadcast(
+            &mut self,
+            _: SimTime,
+            _: u32,
+            _: &AdMessage,
+            _: &crate::observer::BroadcastInfo,
+        ) {
+            self.broadcasts += 1;
+        }
+        fn on_deliver(&mut self, _: SimTime, _: u32, _: &AdMessage, _: &RxMeta) {
+            self.delivers += 1;
+        }
+        fn on_accept(&mut self, _: SimTime, _: u32, _: AdId) {
+            self.accepts += 1;
+        }
+        fn on_suppress(&mut self, _: SimTime, _: u32, _: &AdMessage) {
+            self.suppresses += 1;
+        }
+        fn on_round(&mut self, _: SimTime, _: u32) {
+            self.rounds += 1;
+        }
+        fn on_depart(&mut self, _: SimTime, _: u32) {
+            self.departs += 1;
+        }
+        fn on_rejoin(&mut self, _: SimTime, _: u32) {
+            self.rejoins += 1;
+        }
+    }
+
+    #[test]
+    fn world_fans_out_hooks_consistently_with_channel_stats() {
+        let mut w = World::new(tiny(ProtocolKind::Gossip, 80, 32));
+        w.attach_observer(Box::new(HookCounter::default()));
+        w.run();
+        let stats = w.medium().stats().clone();
+        let c = w.observer::<HookCounter>().expect("counter attached");
+        assert_eq!(c.broadcasts as u64, stats.messages);
+        // Every scheduled reception either arrives (deliver), is
+        // suppressed at an off-line node (none here — no churn), or was
+        // still in flight when the horizon cut the run. Airtime is
+        // milliseconds, so in-flight losses are a sliver of the total.
+        assert_eq!(c.suppresses, 0);
+        let in_flight = stats.receptions - c.delivers as u64;
+        assert!(
+            in_flight <= stats.receptions / 10,
+            "{in_flight} of {} receptions never delivered",
+            stats.receptions
+        );
+        assert!(c.accepts > 0 && c.rounds > 0);
+        assert_eq!(c.departs + c.rejoins, 0);
+    }
+
+    #[test]
+    fn churn_fires_depart_rejoin_and_suppress_hooks() {
+        use crate::scenario::ChurnSpec;
+        let s = tiny(ProtocolKind::Gossip, 150, 33).with_churn(ChurnSpec::new(
+            SimDuration::from_secs(60.0),
+            SimDuration::from_secs(60.0),
+        ));
+        let mut w = World::new(s);
+        w.attach_observer(Box::new(HookCounter::default()));
+        w.run();
+        let stats = w.medium().stats().clone();
+        let c = w.observer::<HookCounter>().expect("counter attached");
+        assert!(c.departs > 0, "heavy churn must take peers down");
+        assert!(c.rejoins > 0, "and bring some back");
+        assert!(c.suppresses > 0, "some frames must hit off-line peers");
+        let accounted = c.delivers as u64 + c.suppresses as u64;
+        assert!(accounted <= stats.receptions);
+        assert!(
+            stats.receptions - accounted <= stats.receptions / 10,
+            "too many receptions unaccounted for"
+        );
+    }
+
+    #[test]
+    fn trace_observer_records_events_without_changing_the_run() {
+        use crate::observer::JsonlTrace;
+        let plain = {
+            let mut w = World::new(tiny(ProtocolKind::OptGossip, 60, 34));
+            w.run();
+            (w.medium().stats().clone(), w.tracker().outcomes())
+        };
+        let (trace, buffer) = JsonlTrace::in_memory();
+        let mut w = World::new(tiny(ProtocolKind::OptGossip, 60, 34));
+        w.attach_observer(Box::new(trace));
+        w.run();
+        assert_eq!(w.medium().stats(), &plain.0);
+        assert_eq!(w.tracker().outcomes(), plain.1);
+        let text = buffer.contents();
+        assert_eq!(
+            text.lines()
+                .filter(|l| l.contains("\"ev\":\"broadcast\""))
+                .count() as u64,
+            plain.0.messages
+        );
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn scenario_trace_flag_writes_a_jsonl_file() {
+        let dir = std::env::temp_dir().join("ia-trace-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("trace-{seed}.jsonl");
+        let s = tiny(ProtocolKind::Gossip, 40, 35).with_trace_path(&path);
+        let resolved = s.trace_file().expect("trace configured");
+        assert!(resolved.to_string_lossy().ends_with("trace-35.jsonl"));
+        let mut w = World::new(s);
+        w.run();
+        drop(w); // flush the buffered trace writer
+        let text = std::fs::read_to_string(&resolved).expect("trace file written");
+        assert!(text.lines().count() > 10);
+        assert!(text.contains("\"ev\":\"accept\""));
+        std::fs::remove_file(&resolved).ok();
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Satellite guarantee: the same scenario + seed produces a
+//! byte-identical [`RunResult`] no matter how many worker threads run the
+//! sweep and no matter which observers are attached. Observers are
+//! passive and every RNG stream derives from the master seed, so neither
+//! knob may leak into the simulated outcome.
+
+use ia_core::ProtocolKind;
+use ia_des::{SimDuration, SimTime};
+use ia_experiments::{
+    run_scenario, run_seeds_with_threads, JsonlTrace, RunResult, Scenario, SimObserver, World,
+};
+
+fn scenario() -> Scenario {
+    Scenario::paper(ProtocolKind::OptGossip, 60)
+        .with_seed(77)
+        .with_life_cycle(SimDuration::from_secs(250.0))
+}
+
+/// Exact equality of everything a run reports, including the float
+/// distributions (bitwise, via PartialEq on f64 fields).
+fn assert_identical(a: &RunResult, b: &RunResult, what: &str) {
+    assert_eq!(a.ads, b.ads, "{what}: ad outcomes differ");
+    assert_eq!(
+        a.delivery_time_dist, b.delivery_time_dist,
+        "{what}: distributions differ"
+    );
+    assert_eq!(a.traffic, b.traffic, "{what}: traffic differs");
+}
+
+#[test]
+fn run_result_is_identical_across_thread_counts() {
+    let s = scenario();
+    let seeds: Vec<u64> = (77..82).collect();
+    let single = run_seeds_with_threads(&s, &seeds, 1);
+    for threads in [2, 4, 8] {
+        let multi = run_seeds_with_threads(&s, &seeds, threads);
+        assert_eq!(multi.len(), seeds.len());
+        for (i, (a, b)) in single.iter().zip(&multi).enumerate() {
+            assert_identical(a, b, &format!("seed {} threads {threads}", seeds[i]));
+        }
+    }
+}
+
+/// An observer that does everything wrong short of mutating the world:
+/// it buffers state, counts events, allocates. Still must not perturb
+/// the run.
+#[derive(Default)]
+struct NoisyObserver {
+    log: Vec<(f64, u32)>,
+}
+
+impl SimObserver for NoisyObserver {
+    fn on_broadcast(
+        &mut self,
+        now: SimTime,
+        node: u32,
+        _msg: &ia_core::AdMessage,
+        _info: &ia_experiments::BroadcastInfo,
+    ) {
+        self.log.push((now.as_secs(), node));
+    }
+    fn on_round(&mut self, now: SimTime, node: u32) {
+        self.log.push((now.as_secs(), node));
+    }
+}
+
+#[test]
+fn run_result_is_identical_with_and_without_extra_observers() {
+    let s = scenario();
+    let baseline = run_scenario(&s);
+
+    // World with a JSONL trace and a noisy custom observer attached.
+    let (trace, buffer) = JsonlTrace::in_memory();
+    let mut w = World::new(s.clone());
+    w.attach_observer(Box::new(trace));
+    w.attach_observer(Box::new(NoisyObserver::default()));
+    w.run();
+    let ads = w.tracker().outcomes();
+    let delivery_time_dist = (0..ads.len())
+        .map(|i| w.tracker().delivery_time_distribution(i))
+        .collect();
+    let observed = RunResult {
+        ads,
+        delivery_time_dist,
+        traffic: w.medium().stats().clone(),
+    };
+    assert_identical(&baseline, &observed, "observer set");
+
+    // The extra observers did observe a real run.
+    assert!(!buffer.contents().is_empty(), "trace captured nothing");
+    let noisy = w.observer::<NoisyObserver>().expect("observer attached");
+    assert!(!noisy.log.is_empty(), "noisy observer saw nothing");
+
+    // And the threaded sweep agrees with the solo world too.
+    let sweep = run_seeds_with_threads(&s, &[s.seed], 1);
+    assert_identical(&baseline, &sweep[0], "sweep vs solo");
+}

@@ -66,8 +66,12 @@ impl Circle {
         let d2 = d * d;
         let r1_2 = r1 * r1;
         let r2_2 = r2 * r2;
-        let alpha = ((d2 + r1_2 - r2_2) / (2.0 * d * r1)).clamp(-1.0, 1.0).acos();
-        let beta = ((d2 + r2_2 - r1_2) / (2.0 * d * r2)).clamp(-1.0, 1.0).acos();
+        let alpha = ((d2 + r1_2 - r2_2) / (2.0 * d * r1))
+            .clamp(-1.0, 1.0)
+            .acos();
+        let beta = ((d2 + r2_2 - r1_2) / (2.0 * d * r2))
+            .clamp(-1.0, 1.0)
+            .acos();
         let tri = 0.5
             * ((-d + r1 + r2) * (d + r1 - r2) * (d - r1 + r2) * (d + r1 + r2))
                 .max(0.0)
@@ -84,7 +88,11 @@ impl Circle {
         if self.radius <= 0.0 {
             // A degenerate (zero-radius) disk is entirely covered iff its
             // centre lies in the other disk.
-            return if other.contains(self.center) { 1.0 } else { 0.0 };
+            return if other.contains(self.center) {
+                1.0
+            } else {
+                0.0
+            };
         }
         (self.lens_area(other) / self.area()).clamp(0.0, 1.0)
     }

@@ -107,9 +107,15 @@ impl Segment {
             (true, true, _) if crossings.len() < 2 => {
                 // Both endpoints inside; with < 2 crossings the chord never
                 // leaves the disk.
-                DiskTransit::Crossing { enter: 0.0, exit: 1.0 }
+                DiskTransit::Crossing {
+                    enter: 0.0,
+                    exit: 1.0,
+                }
             }
-            (true, true, _) => DiskTransit::Crossing { enter: 0.0, exit: 1.0 },
+            (true, true, _) => DiskTransit::Crossing {
+                enter: 0.0,
+                exit: 1.0,
+            },
             (true, false, _) => DiskTransit::Crossing {
                 enter: 0.0,
                 exit: *crossings.first().unwrap_or(&1.0),
@@ -181,7 +187,10 @@ mod tests {
         assert!((xs[1] - 0.75).abs() < 1e-12);
         assert_eq!(
             s.disk_transit(&unit_circle()),
-            DiskTransit::Crossing { enter: 0.25, exit: 0.75 }
+            DiskTransit::Crossing {
+                enter: 0.25,
+                exit: 0.75
+            }
         );
         assert_eq!(s.disk_entry(&unit_circle()), Some(0.25));
     }
@@ -232,7 +241,10 @@ mod tests {
         let s = seg(-0.2, 0.0, 0.2, 0.0);
         assert_eq!(
             s.disk_transit(&unit_circle()),
-            DiskTransit::Crossing { enter: 0.0, exit: 1.0 }
+            DiskTransit::Crossing {
+                enter: 0.0,
+                exit: 1.0
+            }
         );
         assert_eq!(s.disk_entry(&unit_circle()), Some(0.0));
     }

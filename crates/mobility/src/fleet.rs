@@ -77,7 +77,10 @@ impl Fleet {
 
     /// Snapshot of every node's position at `t` (index = node id).
     pub fn positions_at(&self, t: SimTime) -> Vec<Point> {
-        self.trajectories.iter().map(|tr| tr.position_at(t)).collect()
+        self.trajectories
+            .iter()
+            .map(|tr| tr.position_at(t))
+            .collect()
     }
 
     /// Maximum speed over all moving legs in the fleet — the `V_max`
@@ -144,7 +147,10 @@ mod tests {
             model.trajectory(&mut rng2, t0, t1),
         ]);
         assert_eq!(f.len(), 2);
-        assert_eq!(f.position(0, SimTime::from_secs(30.0)), Point::new(500.0, 500.0));
+        assert_eq!(
+            f.position(0, SimTime::from_secs(30.0)),
+            Point::new(500.0, 500.0)
+        );
         assert_eq!(f.velocity(0, SimTime::from_secs(30.0)), Vector::ZERO);
     }
 

@@ -104,9 +104,7 @@ impl MobilityModel for Manhattan {
                 .iter()
                 .copied()
                 .filter(|&(dx, dy)| {
-                    (dx, dy) != (hx, hy)
-                        && (dx, dy) != (-hx, -hy)
-                        && self.in_grid(cx + dx, cy + dy)
+                    (dx, dy) != (hx, hy) && (dx, dy) != (-hx, -hy) && self.in_grid(cx + dx, cy + dy)
                 })
                 .collect();
             let next = if straight_ok && (turns.is_empty() || rng.chance(self.p_straight)) {
@@ -186,10 +184,7 @@ mod tests {
         for leg in tr.legs() {
             if !leg.is_pause() {
                 let d = leg.to - leg.from;
-                assert!(
-                    d.x.abs() < 1e-6 || d.y.abs() < 1e-6,
-                    "diagonal leg {d:?}"
-                );
+                assert!(d.x.abs() < 1e-6 || d.y.abs() < 1e-6, "diagonal leg {d:?}");
             }
         }
     }

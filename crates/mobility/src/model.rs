@@ -38,7 +38,10 @@ mod tests {
         let boxed: Box<dyn MobilityModel> = Box::new(model);
         let mut rng = SimRng::from_master(1);
         let tr = boxed.trajectory(&mut rng, SimTime::ZERO, SimTime::from_secs(10.0));
-        assert_eq!(tr.position_at(SimTime::from_secs(5.0)), Point::new(1.0, 2.0));
+        assert_eq!(
+            tr.position_at(SimTime::from_secs(5.0)),
+            Point::new(1.0, 2.0)
+        );
         let by_ref = &*boxed;
         let tr2 = by_ref.trajectory(&mut rng, SimTime::ZERO, SimTime::from_secs(10.0));
         assert_eq!(tr, tr2);

@@ -226,15 +226,29 @@ mod tests {
     #[test]
     fn export_contains_initial_position_and_moves() {
         let tr = Trajectory::new(vec![
-            Leg::new(t(0.0), t(10.0), Point::new(0.0, 0.0), Point::new(100.0, 0.0)),
+            Leg::new(
+                t(0.0),
+                t(10.0),
+                Point::new(0.0, 0.0),
+                Point::new(100.0, 0.0),
+            ),
             Leg::pause(t(10.0), t(20.0), Point::new(100.0, 0.0)),
-            Leg::new(t(20.0), t(30.0), Point::new(100.0, 0.0), Point::new(100.0, 50.0)),
+            Leg::new(
+                t(20.0),
+                t(30.0),
+                Point::new(100.0, 0.0),
+                Point::new(100.0, 50.0),
+            ),
         ]);
         let text = export_trajectory(3, &tr);
         assert!(text.contains("$node_(3) set X_ 0.000000"));
         assert!(text.contains("$node_(3) set Y_ 0.000000"));
-        assert!(text.contains("$ns_ at 0.000000 \"$node_(3) setdest 100.000000 0.000000 10.000000\""));
-        assert!(text.contains("$ns_ at 20.000000 \"$node_(3) setdest 100.000000 50.000000 5.000000\""));
+        assert!(
+            text.contains("$ns_ at 0.000000 \"$node_(3) setdest 100.000000 0.000000 10.000000\"")
+        );
+        assert!(
+            text.contains("$ns_ at 20.000000 \"$node_(3) setdest 100.000000 50.000000 5.000000\"")
+        );
         // Pause legs are implicit (two setdest lines only).
         assert_eq!(text.lines().count(), 4);
     }

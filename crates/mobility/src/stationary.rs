@@ -49,9 +49,15 @@ mod tests {
         let mut rng = SimRng::from_master(0);
         let tr = m.trajectory(&mut rng, SimTime::ZERO, SimTime::from_secs(100.0));
         for i in 0..=10 {
-            assert_eq!(tr.position_at(SimTime::from_secs(i as f64 * 10.0)), Point::new(3.0, 4.0));
+            assert_eq!(
+                tr.position_at(SimTime::from_secs(i as f64 * 10.0)),
+                Point::new(3.0, 4.0)
+            );
         }
-        assert_eq!(tr.velocity_at(SimTime::from_secs(50.0)), ia_geo::Vector::ZERO);
+        assert_eq!(
+            tr.velocity_at(SimTime::from_secs(50.0)),
+            ia_geo::Vector::ZERO
+        );
         assert_eq!(
             tr.estimated_velocity(SimTime::from_secs(50.0), SimDuration::from_secs(5.0)),
             ia_geo::Vector::ZERO

@@ -136,10 +136,7 @@ impl Trajectory {
         }
         // Binary search on start_time: the active leg is the last one
         // starting at or before t.
-        match self
-            .legs
-            .binary_search_by(|leg| leg.start_time.cmp(&t))
-        {
+        match self.legs.binary_search_by(|leg| leg.start_time.cmp(&t)) {
             Ok(i) => i,
             Err(i) => i.saturating_sub(1),
         }
@@ -199,9 +196,7 @@ impl Trajectory {
             } else {
                 match leg.segment().disk_transit(circle) {
                     ia_geo::segment::DiskTransit::Outside => None,
-                    ia_geo::segment::DiskTransit::Inside => {
-                        Some((leg.start_time, leg.end_time))
-                    }
+                    ia_geo::segment::DiskTransit::Inside => Some((leg.start_time, leg.end_time)),
                     ia_geo::segment::DiskTransit::Crossing { enter, exit } => {
                         let dur = leg.duration();
                         Some((
@@ -251,7 +246,12 @@ mod tests {
     fn straight_line() -> Trajectory {
         // Move (0,0) -> (100,0) over [0, 10], then pause to 20.
         Trajectory::new(vec![
-            Leg::new(t(0.0), t(10.0), Point::new(0.0, 0.0), Point::new(100.0, 0.0)),
+            Leg::new(
+                t(0.0),
+                t(10.0),
+                Point::new(0.0, 0.0),
+                Point::new(100.0, 0.0),
+            ),
             Leg::pause(t(10.0), t(20.0), Point::new(100.0, 0.0)),
         ])
     }
@@ -268,7 +268,10 @@ mod tests {
     #[test]
     fn position_clamps_outside_plan() {
         let tr = straight_line();
-        assert_eq!(tr.position_at(t(0.0) - SimDuration::from_secs(5.0)), Point::new(0.0, 0.0));
+        assert_eq!(
+            tr.position_at(t(0.0) - SimDuration::from_secs(5.0)),
+            Point::new(0.0, 0.0)
+        );
         assert_eq!(tr.position_at(t(100.0)), Point::new(100.0, 0.0));
     }
 
@@ -286,7 +289,10 @@ mod tests {
         let est = tr.estimated_velocity(t(5.0), SimDuration::from_secs(1.0));
         assert!((est.x - 10.0).abs() < 1e-9);
         assert!((est.y).abs() < 1e-9);
-        assert_eq!(tr.estimated_velocity(t(5.0), SimDuration::ZERO), Vector::ZERO);
+        assert_eq!(
+            tr.estimated_velocity(t(5.0), SimDuration::ZERO),
+            Vector::ZERO
+        );
     }
 
     #[test]
@@ -315,7 +321,12 @@ mod tests {
         let tr = Trajectory::new(vec![
             Leg::new(t(0.0), t(10.0), Point::new(0.0, 0.0), Point::new(50.0, 0.0)),
             Leg::pause(t(10.0), t(20.0), Point::new(50.0, 0.0)),
-            Leg::new(t(20.0), t(30.0), Point::new(50.0, 0.0), Point::new(100.0, 0.0)),
+            Leg::new(
+                t(20.0),
+                t(30.0),
+                Point::new(50.0, 0.0),
+                Point::new(100.0, 0.0),
+            ),
         ]);
         let c = Circle::new(Point::new(50.0, 0.0), 10.0);
         let iv = tr.disk_intervals(&c, t(0.0), t(30.0));

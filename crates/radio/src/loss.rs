@@ -57,7 +57,9 @@ mod tests {
     fn bernoulli_frequency() {
         let mut rng = SimRng::from_master(2);
         let m = LossModel::Bernoulli(0.25);
-        let drops = (0..100_000).filter(|_| m.drops(0.0, 250.0, &mut rng)).count();
+        let drops = (0..100_000)
+            .filter(|_| m.drops(0.0, 250.0, &mut rng))
+            .count();
         let f = drops as f64 / 100_000.0;
         assert!((f - 0.25).abs() < 0.01, "f={f}");
     }

@@ -5,8 +5,8 @@ use crate::contention::{airtime, Contention, TxLog};
 use crate::frame::Delivery;
 use crate::stats::TrafficStats;
 use ia_des::{SimRng, SimTime};
-use ia_mobility::Fleet;
 use ia_geo::UniformGrid;
+use ia_mobility::Fleet;
 
 /// A shared wireless channel over a [`Fleet`] of mobile nodes.
 ///
@@ -51,9 +51,7 @@ impl Medium {
         if needs_rebuild {
             let grid = UniformGrid::build(
                 self.config.range.max(1.0),
-                fleet
-                    .iter()
-                    .map(|(id, tr)| (id, tr.position_at(now))),
+                fleet.iter().map(|(id, tr)| (id, tr.position_at(now))),
             );
             self.grid = Some((now, grid));
         }
@@ -99,13 +97,9 @@ impl Medium {
                 continue;
             }
             if self.config.contention == Contention::Aloha
-                && self.tx_log.collides(
-                    now,
-                    sender_pos,
-                    true_pos,
-                    self.config.range,
-                    frame_airtime,
-                )
+                && self
+                    .tx_log
+                    .collides(now, sender_pos, true_pos, self.config.range, frame_airtime)
             {
                 collided += 1;
                 continue;
@@ -316,7 +310,10 @@ mod tests {
         let fleet = static_fleet(&[(0.0, 0.0), (100.0, 0.0), (500.0, 0.0)]);
         let mut medium = Medium::new(RadioConfig::paper());
         assert_eq!(medium.neighbors(&fleet, SimTime::ZERO, 0), vec![1]);
-        assert_eq!(medium.neighbors(&fleet, SimTime::ZERO, 2), Vec::<u32>::new());
+        assert_eq!(
+            medium.neighbors(&fleet, SimTime::ZERO, 2),
+            Vec::<u32>::new()
+        );
     }
 
     #[test]

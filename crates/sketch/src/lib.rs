@@ -15,13 +15,13 @@
 
 pub mod bundle;
 pub mod fm;
-pub mod hll;
 pub mod hash;
+pub mod hll;
 
 pub use bundle::FmBundle;
 pub use fm::FmSketch;
-pub use hll::HyperLogLog;
 pub use hash::HashFamily;
+pub use hll::HyperLogLog;
 
 /// Flajolet–Martin's magic constant `phi`: the expected bias factor of
 /// the `2^R` estimator.

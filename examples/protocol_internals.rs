@@ -2,7 +2,7 @@
 //!
 //! `ia-core`'s protocols are plain state machines: you feed them receive
 //! events and timer wake-ups with an explicit [`PeerContext`], and they
-//! answer with [`Action`]s. This example walks one Optimized Gossiping
+//! answer by pushing [`Action`]s into an [`ActionSink`]. This example walks one Optimized Gossiping
 //! peer through the interesting transitions by hand, printing what the
 //! protocol decides at each step — useful both as API documentation and
 //! as a debugging harness when porting the protocol to real radios.
@@ -11,18 +11,19 @@
 
 use instant_ads::core::protocol::Gossip;
 use instant_ads::core::{
-    Action, AdId, AdMessage, Advertisement, GossipParams, PeerContext, PeerId, Protocol, RxMeta,
-    UserProfile,
+    Action, ActionSink, AdId, AdMessage, Advertisement, GossipParams, PeerContext, PeerId,
+    Protocol, RxMeta, UserProfile,
 };
 use instant_ads::des::{SimDuration, SimRng, SimTime};
 use instant_ads::geo::{Point, Vector};
 
-fn show(step: &str, actions: &[Action]) {
+fn show(step: &str, sink: &mut ActionSink) {
     println!("{step}:");
+    let actions: Vec<Action> = sink.drain().collect();
     if actions.is_empty() {
         println!("    (no actions)");
     }
-    for a in actions {
+    for a in &actions {
         match a {
             Action::Broadcast(m) => println!(
                 "    broadcast {} ({} bytes, rank {})",
@@ -31,8 +32,11 @@ fn show(step: &str, actions: &[Action]) {
                 m.ad.sketches.rank()
             ),
             Action::ScheduleRound(t) => println!("    schedule round at {t}"),
-            Action::ScheduleEntry { ad, at } => println!("    schedule entry timer for {ad} at {at}"),
+            Action::ScheduleEntry { ad, at } => {
+                println!("    schedule entry timer for {ad} at {at}")
+            }
             Action::Accepted { ad } => println!("    accepted {ad} (first receipt)"),
+            Action::CacheEvicted { ad } => println!("    evicted {ad} from the cache"),
         }
     }
     println!();
@@ -76,8 +80,9 @@ fn main() {
 
     // 1. Coming online: Optimized Gossiping uses per-entry timers, so no
     //    global round is scheduled.
-    let a = peer.on_start(&mut ctx_at(100.0, my_pos, my_vel, &mut rng));
-    show("on_start (600 m inside the area)", &a);
+    let mut sink = ActionSink::new();
+    peer.on_start(&mut ctx_at(100.0, my_pos, my_vel, &mut rng), &mut sink);
+    show("on_start (600 m inside the area)", &mut sink);
 
     // 2. First receipt: accept, rank (topic matches), schedule the
     //    entry's own gossip timer one round out.
@@ -87,8 +92,13 @@ fn main() {
         from: 3,
         distance: 50.0,
     };
-    let a = peer.on_receive(&mut ctx_at(105.0, my_pos, my_vel, &mut rng), &msg, &meta);
-    show("on_receive (new ad from a neighbour 50 m away)", &a);
+    peer.on_receive(
+        &mut ctx_at(105.0, my_pos, my_vel, &mut rng),
+        &msg,
+        &meta,
+        &mut sink,
+    );
+    show("on_receive (new ad from a neighbour 50 m away)", &mut sink);
 
     // 3. Overhearing a duplicate from a *very close* neighbour: formula 4
     //    postpones this entry's next gossip (the closer and the more
@@ -98,17 +108,33 @@ fn main() {
         from: 4,
         distance: 2.0,
     };
-    let a = peer.on_receive(&mut ctx_at(106.0, my_pos, my_vel, &mut rng), &msg, &close);
-    show("on_receive (duplicate overheard from 2 m away)", &a);
+    peer.on_receive(
+        &mut ctx_at(106.0, my_pos, my_vel, &mut rng),
+        &msg,
+        &close,
+        &mut sink,
+    );
+    show("on_receive (duplicate overheard from 2 m away)", &mut sink);
 
     // 4. The original timer fires but has been postponed: stale, no-op.
-    let a = peer.on_entry_timer(&mut ctx_at(110.0, my_pos, my_vel, &mut rng), ad.id);
-    show("on_entry_timer (stale wake-up after postponement)", &a);
+    peer.on_entry_timer(
+        &mut ctx_at(110.0, my_pos, my_vel, &mut rng),
+        ad.id,
+        &mut sink,
+    );
+    show(
+        "on_entry_timer (stale wake-up after postponement)",
+        &mut sink,
+    );
 
     // 5. The postponed timer fires: the entry gossips with the formula-1/3
     //    probability at this distance and reschedules itself.
-    let a = peer.on_entry_timer(&mut ctx_at(125.0, my_pos, my_vel, &mut rng), ad.id);
-    show("on_entry_timer (live wake-up)", &a);
+    peer.on_entry_timer(
+        &mut ctx_at(125.0, my_pos, my_vel, &mut rng),
+        ad.id,
+        &mut sink,
+    );
+    show("on_entry_timer (live wake-up)", &mut sink);
 
     // 6. Inspect the cached copy: our user id is in the sketches now.
     let copy = peer.cached_ad(ad.id).expect("cached");

@@ -41,7 +41,10 @@ fn main() {
         "  delivery rate : {:.2}% ({} of {} passages; {} of {} peers)",
         ad.delivery_rate, ad.delivered_passages, ad.passages, ad.delivered, ad.passed
     );
-    println!("  delivery time : {:.2} s (mean wait after entering the area)", ad.mean_delivery_time);
+    println!(
+        "  delivery time : {:.2} s (mean wait after entering the area)",
+        ad.mean_delivery_time
+    );
     println!("  messages      : {} broadcasts", result.messages());
     println!(
         "  traffic       : {:.1} kB sent, mean fan-out {:.1} receivers/broadcast",

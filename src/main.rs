@@ -170,7 +170,10 @@ fn main() {
         let world = instant_ads::experiments::World::new(s.clone().with_seed(seed0));
         let trace = instant_ads::mobility::ns2::export_fleet(world.fleet());
         std::fs::write(path, &trace).expect("write trace");
-        println!("wrote NS-2 setdest trace for {} nodes to {path}", s.n_nodes());
+        println!(
+            "wrote NS-2 setdest trace for {} nodes to {path}",
+            s.n_nodes()
+        );
     }
 
     println!("instant-ads: {protocol} | {peers} peers on {field:.0} m x {field:.0} m");

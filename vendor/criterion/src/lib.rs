@@ -1,0 +1,245 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The workspace builds in environments with no crates.io access, so this
+//! crate re-implements the small slice of criterion's API the benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`black_box`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical engine it runs a short calibration
+//! pass, scales the iteration count to a fixed wall-clock budget, and
+//! reports mean ns/iter on stdout. When invoked with `--test` (as
+//! `cargo test --benches` does) each routine runs exactly once so the
+//! benches double as smoke tests.
+
+use std::time::{Duration, Instant};
+
+/// Identity function the optimizer must treat as opaque.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Label for one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl ToString, parameter: impl ToString) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.to_string(), parameter.to_string()),
+        }
+    }
+}
+
+/// Anything usable as a benchmark label (`&str`, `String`, [`BenchmarkId`]).
+pub trait IntoBenchmarkLabel {
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Timer handed to benchmark closures; `iter` runs the routine and records
+/// the elapsed wall-clock time.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Wall-clock budget spent measuring each benchmark (after calibration).
+const MEASURE_BUDGET: Duration = Duration::from_millis(100);
+
+/// Top-level harness state.
+pub struct Criterion {
+    /// `--test` mode: run each routine once and skip timing.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.test_mode, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl ToString) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's fixed time budget makes
+    /// an explicit sample count redundant.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkLabel, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_one(&label, self.criterion.test_mode, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.criterion.test_mode, &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, test_mode: bool, f: &mut dyn FnMut(&mut Bencher)) {
+    // Calibration: a single iteration to estimate per-iter cost.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("{label}: ok (test mode, 1 iter)");
+        return;
+    }
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let iters = (MEASURE_BUDGET.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean_ns = b.elapsed.as_nanos() as f64 / iters as f64;
+    println!("{label}: {mean_ns:.1} ns/iter ({iters} iters)");
+}
+
+/// Build a function that runs each listed benchmark against one
+/// [`Criterion`] instance. Supports the plain positional form used in
+/// this workspace and the `name = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `fn main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u64;
+        let mut c = Criterion { test_mode: true };
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls >= 1);
+    }
+
+    #[test]
+    fn group_bench_with_input_passes_input() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut seen = 0u32;
+        group.bench_with_input(BenchmarkId::new("id", 7), &42u32, |b, &x| {
+            b.iter(|| seen = x);
+        });
+        group.finish();
+        assert_eq!(seen, 42);
+    }
+
+    #[test]
+    fn benchmark_id_formats_label() {
+        let id = BenchmarkId::new("formula1", 2);
+        assert_eq!(id.label, "formula1/2");
+    }
+
+    criterion_group!(smoke_group, smoke_target);
+
+    fn smoke_target(c: &mut Criterion) {
+        c.test_mode = true;
+        c.bench_function("smoke", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        // Runs in timed mode briefly (routine is trivial) via the macro.
+        smoke_group();
+    }
+}
