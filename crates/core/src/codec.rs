@@ -39,6 +39,9 @@ use std::fmt;
 /// Wire-format magic number.
 pub const MAGIC: u16 = 0xAD5E;
 
+/// Size of the frame checksum trailer appended by [`encode_frame`].
+pub const FRAME_CRC_BYTES: usize = 4;
+
 /// Decoding failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
@@ -48,6 +51,9 @@ pub enum CodecError {
     BadMagic(u16),
     /// A field held an impossible value.
     InvalidField(&'static str),
+    /// The frame checksum trailer did not match the body
+    /// ([`decode_frame`] only).
+    ChecksumMismatch { expected: u32, found: u32 },
 }
 
 impl fmt::Display for CodecError {
@@ -58,11 +64,35 @@ impl fmt::Display for CodecError {
             }
             CodecError::BadMagic(m) => write!(f, "bad magic 0x{m:04X}"),
             CodecError::InvalidField(name) => write!(f, "invalid field: {name}"),
+            CodecError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "frame checksum mismatch: expected 0x{expected:08X}, found 0x{found:08X}"
+            ),
         }
     }
 }
 
 impl std::error::Error for CodecError {}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) over `bytes`.
+///
+/// Hand-rolled bitwise form — no lookup table. Frames here are a few
+/// hundred bytes at most and the checksum runs once per injected
+/// corruption check, so clarity beats throughput.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let lsb = crc & 1;
+            crc >>= 1;
+            if lsb != 0 {
+                crc ^= 0xEDB8_8320;
+            }
+        }
+    }
+    !crc
+}
 
 struct Writer {
     buf: Vec<u8>,
@@ -271,6 +301,41 @@ pub fn decode(bytes: &[u8]) -> Result<AdMessage, CodecError> {
     Ok(AdMessage { ad, flood })
 }
 
+/// Encode a message as a checked link-layer frame: the [`encode`] body
+/// followed by a little-endian CRC-32 trailer over it.
+///
+/// The frame check sequence is a *link-layer* concern, so it rides
+/// outside [`message_encoded_len`] — traffic accounting (and with it the
+/// calibrated airtime/collision thresholds) counts message bodies, the
+/// same way byte counts conventionally exclude the 802.11 FCS.
+pub fn encode_frame(msg: &AdMessage) -> Vec<u8> {
+    let mut buf = encode(msg);
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// Decode a checked frame produced by [`encode_frame`]: verify the CRC-32
+/// trailer, then decode the body.
+///
+/// Any corruption of body or trailer surfaces as a typed error — never a
+/// panic — so a receiver can drop the frame and account for it.
+pub fn decode_frame(bytes: &[u8]) -> Result<AdMessage, CodecError> {
+    if bytes.len() < FRAME_CRC_BYTES {
+        return Err(CodecError::Truncated {
+            needed: FRAME_CRC_BYTES,
+            have: bytes.len(),
+        });
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - FRAME_CRC_BYTES);
+    let found = u32::from_le_bytes(trailer.try_into().unwrap());
+    let expected = crc32(body);
+    if found != expected {
+        return Err(CodecError::ChecksumMismatch { expected, found });
+    }
+    decode(body)
+}
+
 /// Exact encoded size of an advertisement in a gossip message,
 /// without allocating.
 pub fn ad_encoded_len(ad: &Advertisement) -> usize {
@@ -377,6 +442,46 @@ mod tests {
     }
 
     #[test]
+    fn crc32_matches_ieee_check_value() {
+        // The classic CRC-32/IEEE check vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_roundtrip_and_size() {
+        let msg = AdMessage::flood(sample_ad(), 2, 700.0);
+        let frame = encode_frame(&msg);
+        assert_eq!(frame.len(), message_encoded_len(&msg) + FRAME_CRC_BYTES);
+        assert_eq!(decode_frame(&frame).expect("decode"), msg);
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_caught() {
+        let msg = AdMessage::gossip(sample_ad());
+        let frame = encode_frame(&msg);
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut dirty = frame.clone();
+                dirty[byte] ^= 1 << bit;
+                let r = decode_frame(&dirty);
+                assert!(
+                    matches!(r, Err(CodecError::ChecksumMismatch { .. })),
+                    "flip at byte {byte} bit {bit} gave {r:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_frame_is_typed_not_panic() {
+        let frame = encode_frame(&AdMessage::gossip(sample_ad()));
+        for cut in 0..frame.len() {
+            assert!(decode_frame(&frame[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
     fn error_display() {
         assert_eq!(
             CodecError::Truncated {
@@ -390,6 +495,14 @@ mod tests {
         assert_eq!(
             CodecError::InvalidField("x").to_string(),
             "invalid field: x"
+        );
+        assert_eq!(
+            CodecError::ChecksumMismatch {
+                expected: 0xDEADBEEF,
+                found: 0
+            }
+            .to_string(),
+            "frame checksum mismatch: expected 0xDEADBEEF, found 0x00000000"
         );
     }
 }

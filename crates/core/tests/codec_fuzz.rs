@@ -1,0 +1,110 @@
+//! Fuzz suite for the hardened frame codec.
+//!
+//! The fault-injection subsystem flips bits in encoded frames between
+//! encode and decode, so the decoder is a direct attack surface: it must
+//! never panic, and every corruption must surface as a *typed* error so
+//! the receiver can drop the frame and account for it. These properties
+//! are the contract the chaos plans rely on.
+
+use ia_core::codec::{self, CodecError, FRAME_CRC_BYTES};
+use ia_core::protocol::AdMessage;
+use ia_core::{AdId, Advertisement, GossipParams, PeerId};
+use ia_des::{SimDuration, SimTime};
+use ia_geo::Point;
+use proptest::prelude::*;
+
+/// Strategy for arbitrary valid messages (mirrors what protocols emit).
+fn arb_message() -> impl Strategy<Value = AdMessage> {
+    (
+        (
+            any::<u32>(),
+            any::<u32>(),
+            (0.0..10_000.0f64, 0.0..10_000.0f64),
+            0u64..10_u64.pow(12),
+            1.0..5000.0f64,
+        ),
+        (
+            1u64..10_u64.pow(12),
+            proptest::collection::vec(any::<u32>(), 0..8),
+            0usize..512,
+            proptest::collection::vec(any::<u64>(), 0..20),
+            proptest::option::of((any::<u32>(), 1.0..5000.0f64)),
+        ),
+    )
+        .prop_map(
+            |((issuer, seq, (x, y), t_us, r0), (d0_us, topics, payload, users, flood))| {
+                let params = GossipParams::paper();
+                let mut ad = Advertisement::new(
+                    AdId::new(PeerId(issuer), seq),
+                    Point::new(x, y),
+                    SimTime::from_micros(t_us),
+                    r0,
+                    SimDuration::from_micros(d0_us),
+                    topics,
+                    payload,
+                    &params,
+                );
+                for u in users {
+                    ad.sketches.insert(u);
+                }
+                match flood {
+                    Some((wave, fr)) => AdMessage::flood(ad, wave, fr),
+                    None => AdMessage::gossip(ad),
+                }
+            },
+        )
+}
+
+proptest! {
+    /// Clean frames round-trip bit-exactly.
+    #[test]
+    fn clean_frame_roundtrips(msg in arb_message()) {
+        let frame = codec::encode_frame(&msg);
+        prop_assert_eq!(frame.len(),
+            codec::message_encoded_len(&msg) + FRAME_CRC_BYTES);
+        prop_assert_eq!(codec::decode_frame(&frame).expect("clean frame"), msg);
+    }
+
+    /// encode → corrupt → decode either returns a typed error or (when
+    /// the flips cancel out and restore the original bytes) round-trips
+    /// bit-exactly. Never a panic, never a silently different message.
+    #[test]
+    fn corrupted_frame_is_error_or_exact(
+        msg in arb_message(),
+        flips in proptest::collection::vec((any::<u16>(), 0u8..8), 1..12),
+    ) {
+        let frame = codec::encode_frame(&msg);
+        let mut dirty = frame.clone();
+        for (pos, bit) in flips {
+            let i = pos as usize % dirty.len();
+            dirty[i] ^= 1 << bit;
+        }
+        match codec::decode_frame(&dirty) {
+            Err(_) => {} // typed rejection — the normal outcome
+            Ok(back) => {
+                // Only reachable when every flip was cancelled by a twin.
+                prop_assert_eq!(&dirty, &frame, "checksum escape");
+                prop_assert_eq!(back, msg);
+            }
+        }
+    }
+
+    /// Arbitrary garbage never panics either decoder entry point.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = codec::decode(&bytes);
+        let _ = codec::decode_frame(&bytes);
+    }
+
+    /// Truncating a valid frame anywhere yields a typed error.
+    #[test]
+    fn truncation_is_typed(msg in arb_message(), frac in 0.0..1.0f64) {
+        let frame = codec::encode_frame(&msg);
+        let cut = ((frame.len() as f64) * frac) as usize;
+        let r = codec::decode_frame(&frame[..cut.min(frame.len() - 1)]);
+        prop_assert!(matches!(
+            r,
+            Err(CodecError::Truncated { .. }) | Err(CodecError::ChecksumMismatch { .. })
+        ), "got {r:?}");
+    }
+}

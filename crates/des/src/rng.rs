@@ -47,6 +47,21 @@ pub mod stream {
     pub const WORKLOAD: u64 = 4 << 32;
     pub const PLACEMENT: u64 = 5 << 32;
     pub const INTEREST: u64 = 6 << 32;
+    /// Fault-injection draws (chaos plans). Sub-labelled in the low bits
+    /// by [`fault`] so the corruption, partition, and GPS-noise streams
+    /// never collide with each other or with per-entity labels.
+    pub const FAULT: u64 = 7 << 32;
+
+    /// Sub-labels within the [`FAULT`](self::FAULT) stream. Entity ids
+    /// (node, wave index) occupy the low 24 bits.
+    pub mod fault {
+        /// Frame-corruption draws (one world-level stream).
+        pub const CORRUPT: u64 = 1 << 24;
+        /// Partition-wave membership draws (one stream per wave).
+        pub const PARTITION: u64 = 2 << 24;
+        /// GPS-noise draws (one stream per node).
+        pub const GPS: u64 = 3 << 24;
+    }
 }
 
 impl SimRng {

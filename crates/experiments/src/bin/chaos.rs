@@ -1,0 +1,15 @@
+//! Runs the chaos robustness matrix: three protocols under a
+//! fault-intensity ladder (jamming, burst loss, frame corruption,
+//! partition waves, issuer loss) with FaultLedger accounting.
+//!
+//! Usage: `cargo run --release -p ia-experiments --bin chaos [--quick] [--seeds N] [--csv DIR]`
+
+use ia_experiments::figures::{chaos, emit, Options};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, rest) = Options::from_args(&args);
+    assert!(rest.is_empty(), "unknown arguments: {rest:?}");
+    let tables = chaos::run(&opts);
+    emit(&opts, &tables);
+}

@@ -7,6 +7,7 @@
 
 pub mod beta_sweep;
 pub mod cache_ablation;
+pub mod chaos;
 pub mod churn;
 pub mod contention;
 pub mod fig10;

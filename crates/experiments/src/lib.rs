@@ -34,9 +34,13 @@ pub mod tracker;
 pub mod world;
 
 pub use observer::{
-    BroadcastInfo, JsonlTrace, ObserverBus, RoundTraffic, SimObserver, TraceBuffer, TrafficTimeline,
+    BroadcastInfo, FaultLedger, JsonlTrace, LedgerRound, ObserverBus, RoundTraffic, SimObserver,
+    SuppressReason, TraceBuffer, TrafficTimeline,
 };
 pub use runner::{run_scenario, run_seeds, run_seeds_with_threads, summarize, RunResult, Summary};
-pub use scenario::{AdSpec, ChurnSpec, MobilityKind, Scenario};
+pub use scenario::{
+    AdSpec, BurstLossSpec, ChurnSpec, CorruptionSpec, FaultPlan, MobilityKind, PartitionWave,
+    Scenario,
+};
 pub use tracker::DeliveryTracker;
 pub use world::World;

@@ -28,10 +28,51 @@ pub struct BroadcastInfo {
     pub bytes: usize,
     /// Successful receptions scheduled for this frame.
     pub receivers: usize,
-    /// Copies lost to the loss model.
+    /// Copies lost to the loss model (incl. burst-channel loss).
     pub dropped: u64,
+    /// Copies lost inside active jamming zones.
+    pub jammed: u64,
     /// Copies lost to channel contention.
     pub collisions: u64,
+}
+
+/// Why a frame copy addressed to a receiver never reached its protocol.
+///
+/// Every drop cause in the system flows through
+/// [`SimObserver::on_suppress`] tagged with one of these, so observers
+/// can bin degradation by cause (the [`TrafficTimeline`]) or ledger
+/// injected-vs-survived faults (the [`FaultLedger`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SuppressReason {
+    /// The receiver was off-line (churn, issuer departure, partition).
+    Offline,
+    /// The loss model or burst channel ate the copy.
+    ChannelLoss,
+    /// The receiver sat inside an active jamming zone.
+    Jammed,
+    /// An overlapping transmission collided at the receiver.
+    Collision,
+    /// The frame arrived bit-flipped and failed its checksum.
+    Corrupted,
+}
+
+impl SuppressReason {
+    /// Fixed-vocabulary label (used by the JSONL trace).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SuppressReason::Offline => "offline",
+            SuppressReason::ChannelLoss => "loss",
+            SuppressReason::Jammed => "jam",
+            SuppressReason::Collision => "collision",
+            SuppressReason::Corrupted => "corrupt",
+        }
+    }
+}
+
+impl std::fmt::Display for SuppressReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// Per-event hooks fired by the simulation world.
@@ -52,9 +93,11 @@ pub trait SimObserver: Any {
     fn on_accept(&mut self, now: SimTime, node: u32, ad: AdId) {
         let _ = (now, node, ad);
     }
-    /// A frame addressed to an off-line peer was dropped undelivered.
-    fn on_suppress(&mut self, now: SimTime, to: u32, msg: &AdMessage) {
-        let _ = (now, to, msg);
+    /// A frame copy addressed to `to` was dropped undelivered; `reason`
+    /// carries the cause (off-line peer, channel loss, jam, collision,
+    /// checksum failure).
+    fn on_suppress(&mut self, now: SimTime, to: u32, msg: &AdMessage, reason: SuppressReason) {
+        let _ = (now, to, msg, reason);
     }
     /// A previously stored advertisement was displaced from a peer's cache.
     fn on_cache_evict(&mut self, now: SimTime, node: u32, ad: AdId) {
@@ -132,9 +175,9 @@ impl ObserverBus {
         }
     }
 
-    pub fn suppress(&mut self, now: SimTime, to: u32, msg: &AdMessage) {
+    pub fn suppress(&mut self, now: SimTime, to: u32, msg: &AdMessage, reason: SuppressReason) {
         for o in &mut self.observers {
-            o.on_suppress(now, to, msg);
+            o.on_suppress(now, to, msg, reason);
         }
     }
 
@@ -191,6 +234,21 @@ pub struct RoundTraffic {
     pub receptions: u64,
     /// Copies lost to collisions.
     pub collisions: u64,
+    /// Copies lost to the loss model or burst channel.
+    pub lost: u64,
+    /// Copies lost inside jamming zones.
+    pub jammed: u64,
+    /// Copies dropped on checksum failure.
+    pub corrupted: u64,
+    /// Copies addressed to off-line peers.
+    pub offline: u64,
+}
+
+impl RoundTraffic {
+    /// Total copies dropped in this bucket, over every cause.
+    pub fn dropped(&self) -> u64 {
+        self.collisions + self.lost + self.jammed + self.corrupted + self.offline
+    }
 }
 
 /// Per-round traffic timeline: bins every broadcast into fixed-width time
@@ -251,19 +309,25 @@ impl TrafficTimeline {
             .map(|(i, r)| (i, *r))
     }
 
-    /// CSV dump (`round,t_start_s,messages,bytes,receptions,collisions`)
+    /// CSV dump (one row per bucket, every drop cause in its own column)
     /// for figure scripts.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("round,t_start_s,messages,bytes,receptions,collisions\n");
+        let mut out = String::from(
+            "round,t_start_s,messages,bytes,receptions,collisions,lost,jammed,corrupted,offline\n",
+        );
         for (i, r) in self.rounds.iter().enumerate() {
             out.push_str(&format!(
-                "{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{}\n",
                 i,
                 i as f64 * self.bucket.as_secs(),
                 r.messages,
                 r.bytes,
                 r.receptions,
-                r.collisions
+                r.collisions,
+                r.lost,
+                r.jammed,
+                r.corrupted,
+                r.offline
             ));
         }
         out
@@ -276,7 +340,189 @@ impl SimObserver for TrafficTimeline {
         slot.messages += 1;
         slot.bytes += info.bytes as u64;
         slot.receptions += info.receivers as u64;
-        slot.collisions += info.collisions;
+    }
+
+    // Every drop cause flows through the suppress hook (tagged), so the
+    // timeline bins degradation by cause — collisions included.
+    fn on_suppress(&mut self, now: SimTime, _to: u32, _msg: &AdMessage, reason: SuppressReason) {
+        let slot = self.slot(now);
+        match reason {
+            SuppressReason::Offline => slot.offline += 1,
+            SuppressReason::ChannelLoss => slot.lost += 1,
+            SuppressReason::Jammed => slot.jammed += 1,
+            SuppressReason::Collision => slot.collisions += 1,
+            SuppressReason::Corrupted => slot.corrupted += 1,
+        }
+    }
+}
+
+/// Per-bucket delivered-vs-faulted tally kept by the [`FaultLedger`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LedgerRound {
+    /// Frames delivered to on-line receivers in this bucket.
+    pub delivered: u64,
+    /// Frame copies the channel or chaos plan destroyed.
+    pub faulted: u64,
+}
+
+impl LedgerRound {
+    /// Fraction of this bucket's frame copies that were destroyed.
+    pub fn degradation(&self) -> f64 {
+        let total = self.delivered + self.faulted;
+        if total == 0 {
+            0.0
+        } else {
+            self.faulted as f64 / total as f64
+        }
+    }
+}
+
+/// Ledger of injected vs survived faults.
+///
+/// Counts every delivery and every suppression by cause, plus the
+/// depart/rejoin churn the partition waves inject, and keeps a per-round
+/// degradation timeline. Strictly passive — attach it to any run (the
+/// determinism suite pins that attaching it never changes outcomes).
+#[derive(Debug, Clone)]
+pub struct FaultLedger {
+    bucket: SimDuration,
+    delivered: u64,
+    offline: u64,
+    channel_loss: u64,
+    jammed: u64,
+    collisions: u64,
+    corrupted: u64,
+    departs: u64,
+    rejoins: u64,
+    rounds: Vec<LedgerRound>,
+}
+
+impl FaultLedger {
+    /// Ledger with per-round degradation bucketed at `bucket` (commonly
+    /// the protocol round time).
+    pub fn new(bucket: SimDuration) -> Self {
+        assert!(!bucket.is_zero(), "zero ledger bucket");
+        FaultLedger {
+            bucket,
+            delivered: 0,
+            offline: 0,
+            channel_loss: 0,
+            jammed: 0,
+            collisions: 0,
+            corrupted: 0,
+            departs: 0,
+            rejoins: 0,
+            rounds: Vec::new(),
+        }
+    }
+
+    fn slot(&mut self, now: SimTime) -> &mut LedgerRound {
+        let idx = (now.since(SimTime::ZERO).as_secs() / self.bucket.as_secs()).floor() as usize;
+        if idx >= self.rounds.len() {
+            self.rounds.resize(idx + 1, LedgerRound::default());
+        }
+        &mut self.rounds[idx]
+    }
+
+    /// Frames that reached an on-line receiver.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Suppressions recorded for `reason`.
+    pub fn count(&self, reason: SuppressReason) -> u64 {
+        match reason {
+            SuppressReason::Offline => self.offline,
+            SuppressReason::ChannelLoss => self.channel_loss,
+            SuppressReason::Jammed => self.jammed,
+            SuppressReason::Collision => self.collisions,
+            SuppressReason::Corrupted => self.corrupted,
+        }
+    }
+
+    /// Frame copies destroyed in flight (everything except off-line
+    /// suppressions, which are a node state, not a channel fault).
+    pub fn faulted(&self) -> u64 {
+        self.channel_loss + self.jammed + self.collisions + self.corrupted
+    }
+
+    /// Depart events observed (churn + partition waves + issuer exits).
+    pub fn departs(&self) -> u64 {
+        self.departs
+    }
+
+    /// Rejoin events observed.
+    pub fn rejoins(&self) -> u64 {
+        self.rejoins
+    }
+
+    /// Fraction of frame copies that survived the channel:
+    /// `delivered / (delivered + faulted)`. 1.0 on an idle run.
+    pub fn survival_rate(&self) -> f64 {
+        let total = self.delivered + self.faulted();
+        if total == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / total as f64
+        }
+    }
+
+    /// Per-round delivered/faulted timeline from t = 0.
+    pub fn rounds(&self) -> &[LedgerRound] {
+        &self.rounds
+    }
+
+    /// The worst per-round degradation observed (0.0 on an idle run).
+    pub fn peak_degradation(&self) -> f64 {
+        self.rounds
+            .iter()
+            .map(|r| r.degradation())
+            .fold(0.0, f64::max)
+    }
+
+    /// One-line human summary for experiment output.
+    pub fn summary(&self) -> String {
+        format!(
+            "delivered={} faulted={} (loss={} jam={} collision={} corrupt={}) offline={} departs={} rejoins={} survival={:.1}%",
+            self.delivered,
+            self.faulted(),
+            self.channel_loss,
+            self.jammed,
+            self.collisions,
+            self.corrupted,
+            self.offline,
+            self.departs,
+            self.rejoins,
+            100.0 * self.survival_rate()
+        )
+    }
+}
+
+impl SimObserver for FaultLedger {
+    fn on_deliver(&mut self, now: SimTime, _to: u32, _msg: &AdMessage, _meta: &RxMeta) {
+        self.delivered += 1;
+        self.slot(now).delivered += 1;
+    }
+
+    fn on_suppress(&mut self, now: SimTime, _to: u32, _msg: &AdMessage, reason: SuppressReason) {
+        match reason {
+            SuppressReason::Offline => self.offline += 1,
+            SuppressReason::ChannelLoss => self.channel_loss += 1,
+            SuppressReason::Jammed => self.jammed += 1,
+            SuppressReason::Collision => self.collisions += 1,
+            SuppressReason::Corrupted => self.corrupted += 1,
+        }
+        if reason != SuppressReason::Offline {
+            self.slot(now).faulted += 1;
+        }
+    }
+
+    fn on_depart(&mut self, _now: SimTime, _node: u32) {
+        self.departs += 1;
+    }
+
+    fn on_rejoin(&mut self, _now: SimTime, _node: u32) {
+        self.rejoins += 1;
     }
 }
 
@@ -352,8 +598,8 @@ impl std::fmt::Debug for JsonlTrace {
 impl SimObserver for JsonlTrace {
     fn on_broadcast(&mut self, now: SimTime, node: u32, msg: &AdMessage, info: &BroadcastInfo) {
         self.line(format_args!(
-            "{{\"t\":{},\"ev\":\"broadcast\",\"node\":{},\"ad\":\"{}\",\"bytes\":{},\"receivers\":{},\"dropped\":{},\"collisions\":{}}}\n",
-            now.as_secs(), node, msg.ad.id, info.bytes, info.receivers, info.dropped, info.collisions
+            "{{\"t\":{},\"ev\":\"broadcast\",\"node\":{},\"ad\":\"{}\",\"bytes\":{},\"receivers\":{},\"dropped\":{},\"jammed\":{},\"collisions\":{}}}\n",
+            now.as_secs(), node, msg.ad.id, info.bytes, info.receivers, info.dropped, info.jammed, info.collisions
         ));
     }
 
@@ -377,12 +623,13 @@ impl SimObserver for JsonlTrace {
         ));
     }
 
-    fn on_suppress(&mut self, now: SimTime, to: u32, msg: &AdMessage) {
+    fn on_suppress(&mut self, now: SimTime, to: u32, msg: &AdMessage, reason: SuppressReason) {
         self.line(format_args!(
-            "{{\"t\":{},\"ev\":\"suppress\",\"node\":{},\"ad\":\"{}\"}}\n",
+            "{{\"t\":{},\"ev\":\"suppress\",\"node\":{},\"ad\":\"{}\",\"reason\":\"{}\"}}\n",
             now.as_secs(),
             to,
-            msg.ad.id
+            msg.ad.id,
+            reason.as_str()
         ));
     }
 
@@ -437,6 +684,7 @@ mod tests {
             bytes,
             receivers,
             dropped: 0,
+            jammed: 0,
             collisions,
         }
     }
@@ -464,7 +712,7 @@ mod tests {
         fn on_accept(&mut self, _: SimTime, _: u32, _: AdId) {
             self.accepts += 1;
         }
-        fn on_suppress(&mut self, _: SimTime, _: u32, _: &AdMessage) {
+        fn on_suppress(&mut self, _: SimTime, _: u32, _: &AdMessage, _: SuppressReason) {
             self.suppresses += 1;
         }
         fn on_cache_evict(&mut self, _: SimTime, _: u32, _: AdId) {
@@ -498,7 +746,7 @@ mod tests {
         bus.broadcast(t, 1, &m, &info(50, 2, 0));
         bus.deliver(t, 2, &m, &meta);
         bus.accept(t, 2, m.ad.id);
-        bus.suppress(t, 3, &m);
+        bus.suppress(t, 3, &m, SuppressReason::Offline);
         bus.cache_evict(t, 2, m.ad.id);
         bus.round(t, 1);
         bus.depart(t, 4);
@@ -521,6 +769,8 @@ mod tests {
         let m = msg();
         tl.on_broadcast(SimTime::from_secs(0.0), 0, &m, &info(100, 1, 0));
         tl.on_broadcast(SimTime::from_secs(4.9), 1, &m, &info(100, 0, 2));
+        tl.on_suppress(SimTime::from_secs(4.9), 5, &m, SuppressReason::Collision);
+        tl.on_suppress(SimTime::from_secs(4.9), 6, &m, SuppressReason::Collision);
         tl.on_broadcast(SimTime::from_secs(17.0), 2, &m, &info(60, 3, 0));
         assert_eq!(tl.rounds().len(), 4); // buckets 0..=3
         assert_eq!(tl.rounds()[0].messages, 2);
@@ -534,7 +784,72 @@ mod tests {
         let csv = tl.to_csv();
         assert!(csv.starts_with("round,t_start_s,"));
         assert_eq!(csv.lines().count(), 5); // header + 4 buckets
-        assert!(csv.contains("\n3,15,1,60,3,0\n"));
+        assert!(csv.contains("\n3,15,1,60,3,0,0,0,0,0\n"));
+    }
+
+    #[test]
+    fn timeline_bins_every_drop_cause_separately() {
+        let mut tl = TrafficTimeline::new(SimDuration::from_secs(5.0));
+        let m = msg();
+        let t = SimTime::from_secs(1.0);
+        tl.on_suppress(t, 1, &m, SuppressReason::ChannelLoss);
+        tl.on_suppress(t, 2, &m, SuppressReason::Jammed);
+        tl.on_suppress(t, 3, &m, SuppressReason::Jammed);
+        tl.on_suppress(t, 4, &m, SuppressReason::Corrupted);
+        tl.on_suppress(t, 5, &m, SuppressReason::Offline);
+        tl.on_suppress(t, 6, &m, SuppressReason::Collision);
+        let r = tl.rounds()[0];
+        assert_eq!(
+            (r.lost, r.jammed, r.corrupted, r.offline, r.collisions),
+            (1, 2, 1, 1, 1)
+        );
+        assert_eq!(r.dropped(), 6);
+    }
+
+    #[test]
+    fn fault_ledger_tallies_by_reason_and_round() {
+        let mut ledger = FaultLedger::new(SimDuration::from_secs(5.0));
+        let m = msg();
+        let meta = RxMeta {
+            sender_pos: Point::new(0.0, 0.0),
+            from: 1,
+            distance: 10.0,
+        };
+        ledger.on_deliver(SimTime::from_secs(1.0), 2, &m, &meta);
+        ledger.on_deliver(SimTime::from_secs(2.0), 3, &m, &meta);
+        ledger.on_suppress(SimTime::from_secs(2.0), 4, &m, SuppressReason::Jammed);
+        ledger.on_suppress(SimTime::from_secs(7.0), 5, &m, SuppressReason::Corrupted);
+        ledger.on_suppress(SimTime::from_secs(7.0), 6, &m, SuppressReason::Offline);
+        ledger.on_depart(SimTime::from_secs(7.0), 6);
+        ledger.on_rejoin(SimTime::from_secs(9.0), 6);
+
+        assert_eq!(ledger.delivered(), 2);
+        assert_eq!(ledger.count(SuppressReason::Jammed), 1);
+        assert_eq!(ledger.count(SuppressReason::Corrupted), 1);
+        assert_eq!(ledger.count(SuppressReason::Offline), 1);
+        // Off-line suppressions are node state, not channel faults.
+        assert_eq!(ledger.faulted(), 2);
+        assert_eq!(ledger.departs(), 1);
+        assert_eq!(ledger.rejoins(), 1);
+        assert!((ledger.survival_rate() - 0.5).abs() < 1e-12);
+        // Bucket 0: 2 delivered + 1 faulted; bucket 1: 0 + 1 faulted.
+        assert_eq!(ledger.rounds().len(), 2);
+        assert!((ledger.rounds()[0].degradation() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(ledger.rounds()[1].degradation(), 1.0);
+        assert_eq!(ledger.peak_degradation(), 1.0);
+        let s = ledger.summary();
+        assert!(
+            s.contains("delivered=2") && s.contains("survival=50.0%"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn fault_ledger_is_neutral_on_an_idle_run() {
+        let ledger = FaultLedger::new(SimDuration::from_secs(5.0));
+        assert_eq!(ledger.survival_rate(), 1.0);
+        assert_eq!(ledger.peak_degradation(), 0.0);
+        assert_eq!(ledger.faulted(), 0);
     }
 
     #[test]
@@ -543,17 +858,22 @@ mod tests {
         let m = msg();
         trace.on_broadcast(SimTime::from_secs(2.5), 7, &m, &info(50, 1, 0));
         trace.on_accept(SimTime::from_secs(3.0), 8, m.ad.id);
+        trace.on_suppress(SimTime::from_secs(3.5), 8, &m, SuppressReason::Jammed);
         trace.on_depart(SimTime::from_secs(4.0), 9);
         let text = buffer.contents();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 3);
+        assert_eq!(lines.len(), 4);
         assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
         assert_eq!(
             lines[0],
-            "{\"t\":2.5,\"ev\":\"broadcast\",\"node\":7,\"ad\":\"ad9.0\",\"bytes\":50,\"receivers\":1,\"dropped\":0,\"collisions\":0}"
+            "{\"t\":2.5,\"ev\":\"broadcast\",\"node\":7,\"ad\":\"ad9.0\",\"bytes\":50,\"receivers\":1,\"dropped\":0,\"jammed\":0,\"collisions\":0}"
         );
         assert!(lines[1].contains("\"ev\":\"accept\""));
-        assert!(lines[2].contains("\"ev\":\"depart\""));
+        assert_eq!(
+            lines[2],
+            "{\"t\":3.5,\"ev\":\"suppress\",\"node\":8,\"ad\":\"ad9.0\",\"reason\":\"jam\"}"
+        );
+        assert!(lines[3].contains("\"ev\":\"depart\""));
     }
 
     #[test]

@@ -3,7 +3,8 @@
 use ia_core::{GossipParams, ProtocolKind};
 use ia_des::{SimDuration, SimTime};
 use ia_geo::{Point, Rect};
-use ia_radio::RadioConfig;
+use ia_mobility::NoiseRamp;
+use ia_radio::{GilbertElliott, JamZone, RadioConfig};
 
 /// Which mobility model drives the mobile peers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,6 +81,169 @@ impl ChurnSpec {
     }
 }
 
+/// A windowed Gilbert–Elliott burst-loss channel applied on top of the
+/// radio's configured loss model (fault injection).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstLossSpec {
+    pub from: SimTime,
+    pub until: SimTime,
+    /// Per-sample transition probability good → bad.
+    pub p_enter_bad: f64,
+    /// Per-sample transition probability bad → good.
+    pub p_exit_bad: f64,
+    /// Loss probability in the good state.
+    pub loss_good: f64,
+    /// Loss probability in the bad state.
+    pub loss_bad: f64,
+}
+
+impl BurstLossSpec {
+    /// Build the channel (also validates the parameters).
+    pub fn channel(&self) -> GilbertElliott {
+        GilbertElliott::new(
+            self.p_enter_bad,
+            self.p_exit_bad,
+            self.loss_good,
+            self.loss_bad,
+        )
+    }
+
+    pub fn validate(&self) {
+        assert!(self.until > self.from, "empty burst-loss window");
+        let _ = self.channel();
+    }
+}
+
+/// Windowed frame corruption: each frame delivered inside the window is
+/// bit-flipped with probability `p_corrupt` between encode and decode.
+/// The hardened codec's CRC-32 trailer catches the flips and the receiver
+/// drops the frame ([`crate::observer::SuppressReason::Corrupted`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorruptionSpec {
+    pub from: SimTime,
+    pub until: SimTime,
+    /// Per-delivery corruption probability.
+    pub p_corrupt: f64,
+    /// Bit flips per corrupted frame are drawn uniformly from
+    /// `1..=max_flips`.
+    pub max_flips: u32,
+}
+
+impl CorruptionSpec {
+    pub fn validate(&self) {
+        assert!(self.until > self.from, "empty corruption window");
+        assert!(
+            (0.0..=1.0).contains(&self.p_corrupt),
+            "p_corrupt outside [0, 1]"
+        );
+        assert!(self.max_flips >= 1, "corruption needs at least one flip");
+    }
+
+    /// Is the window active at `t`?
+    pub fn active(&self, t: SimTime) -> bool {
+        t >= self.from && t < self.until
+    }
+}
+
+/// A mass-outage wave: at `at`, each mobile peer independently goes
+/// off-line with probability `fraction` and rejoins `down_for` later —
+/// the network abruptly partitions and then heals, the failure mode that
+/// separates store-&-forward gossip from wave-based flooding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionWave {
+    pub at: SimTime,
+    /// Probability each mobile peer is caught in the wave.
+    pub fraction: f64,
+    /// Outage length for affected peers.
+    pub down_for: SimDuration,
+}
+
+impl PartitionWave {
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.fraction),
+            "partition fraction outside [0, 1]"
+        );
+        assert!(!self.down_for.is_zero(), "zero partition outage");
+    }
+}
+
+/// A deterministic chaos plan: every fault the run injects, scheduled up
+/// front and drawn from dedicated `stream::FAULT` RNG streams so an
+/// identical scenario always injects identical faults — across runs,
+/// worker-thread counts, and observer sets.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Circular dead regions (optionally drifting) — receivers inside an
+    /// active zone hear nothing.
+    pub jam_zones: Vec<JamZone>,
+    /// Windowed burst loss on top of the configured loss model.
+    pub burst_loss: Option<BurstLossSpec>,
+    /// Windowed frame corruption (bit flips between encode and decode).
+    pub corruption: Option<CorruptionSpec>,
+    /// Mass Depart/Rejoin bursts.
+    pub partition_waves: Vec<PartitionWave>,
+    /// GPS degradation ramps perturbing the positions protocols observe
+    /// (ground truth, and hence delivery metrics, stay exact).
+    pub gps_ramps: Vec<NoiseRamp>,
+}
+
+impl FaultPlan {
+    /// The empty plan (no faults — every baseline scenario).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.jam_zones.is_empty()
+            && self.burst_loss.is_none()
+            && self.corruption.is_none()
+            && self.partition_waves.is_empty()
+            && self.gps_ramps.is_empty()
+    }
+
+    pub fn with_jam_zone(mut self, zone: JamZone) -> Self {
+        self.jam_zones.push(zone);
+        self
+    }
+
+    pub fn with_burst_loss(mut self, spec: BurstLossSpec) -> Self {
+        self.burst_loss = Some(spec);
+        self
+    }
+
+    pub fn with_corruption(mut self, spec: CorruptionSpec) -> Self {
+        self.corruption = Some(spec);
+        self
+    }
+
+    pub fn with_partition_wave(mut self, wave: PartitionWave) -> Self {
+        self.partition_waves.push(wave);
+        self
+    }
+
+    pub fn with_gps_ramp(mut self, ramp: NoiseRamp) -> Self {
+        self.gps_ramps.push(ramp);
+        self
+    }
+
+    pub fn validate(&self) {
+        for z in &self.jam_zones {
+            z.validate();
+        }
+        if let Some(b) = &self.burst_loss {
+            b.validate();
+        }
+        if let Some(c) = &self.corruption {
+            c.validate();
+        }
+        for w in &self.partition_waves {
+            w.validate();
+        }
+        // NoiseRamp validates in its constructor.
+    }
+}
+
 /// Interest-assignment workload for the mobile peers.
 #[derive(Debug, Clone, PartialEq)]
 pub enum InterestWorkload {
@@ -123,6 +287,8 @@ pub struct Scenario {
     /// Optional device churn applied to every *mobile* peer (issuers are
     /// governed by `issuer_offline_after` instead).
     pub churn: Option<ChurnSpec>,
+    /// Deterministic fault-injection plan (empty by default).
+    pub faults: FaultPlan,
     /// If set, the world attaches a JSONL trace observer writing every
     /// simulation event to this path. A literal `{seed}` in the path is
     /// replaced by the run's seed, so multi-seed sweeps don't clobber one
@@ -154,6 +320,7 @@ impl Scenario {
             interests: InterestWorkload::None,
             issuer_offline_after: None,
             churn: None,
+            faults: FaultPlan::none(),
             trace_path: None,
             seed: 42,
         }
@@ -197,6 +364,12 @@ impl Scenario {
     /// Apply device churn to all mobile peers.
     pub fn with_churn(mut self, churn: ChurnSpec) -> Self {
         self.churn = Some(churn);
+        self
+    }
+
+    /// Install a fault-injection plan (see [`FaultPlan`]).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -258,6 +431,7 @@ impl Scenario {
         assert!(!self.ads.is_empty(), "need at least one advertisement");
         assert!(!self.sim_time.is_zero(), "zero sim time");
         self.params.validate();
+        self.faults.validate();
         for ad in &self.ads {
             assert!(
                 self.area.contains(ad.issue_pos),
@@ -313,5 +487,86 @@ mod tests {
         let mut s = Scenario::paper(ProtocolKind::Gossip, 100);
         s.ads[0].issue_pos = Point::new(-10.0, 0.0);
         s.validate();
+    }
+
+    #[test]
+    fn fault_plan_builders_compose_and_validate() {
+        let plan = FaultPlan::none()
+            .with_jam_zone(JamZone::stationary(
+                Point::new(2500.0, 2500.0),
+                400.0,
+                SimTime::from_secs(50.0),
+                SimTime::from_secs(150.0),
+            ))
+            .with_burst_loss(BurstLossSpec {
+                from: SimTime::from_secs(20.0),
+                until: SimTime::from_secs(120.0),
+                p_enter_bad: 0.05,
+                p_exit_bad: 0.2,
+                loss_good: 0.0,
+                loss_bad: 0.8,
+            })
+            .with_corruption(CorruptionSpec {
+                from: SimTime::from_secs(10.0),
+                until: SimTime::from_secs(60.0),
+                p_corrupt: 0.3,
+                max_flips: 4,
+            })
+            .with_partition_wave(PartitionWave {
+                at: SimTime::from_secs(100.0),
+                fraction: 0.5,
+                down_for: SimDuration::from_secs(60.0),
+            })
+            .with_gps_ramp(NoiseRamp::new(
+                SimTime::from_secs(30.0),
+                SimTime::from_secs(90.0),
+                15.0,
+            ));
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::none().is_empty());
+        let s = Scenario::paper(ProtocolKind::Gossip, 100).with_faults(plan.clone());
+        s.validate();
+        assert_eq!(s.faults, plan);
+        // Default scenarios carry the empty plan.
+        assert!(Scenario::paper(ProtocolKind::Gossip, 100).faults.is_empty());
+    }
+
+    #[test]
+    fn corruption_window_activity() {
+        let c = CorruptionSpec {
+            from: SimTime::from_secs(10.0),
+            until: SimTime::from_secs(20.0),
+            p_corrupt: 0.5,
+            max_flips: 1,
+        };
+        assert!(!c.active(SimTime::from_secs(9.0)));
+        assert!(c.active(SimTime::from_secs(10.0)));
+        assert!(c.active(SimTime::from_secs(19.9)));
+        assert!(!c.active(SimTime::from_secs(20.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "partition fraction outside")]
+    fn bad_partition_fraction_rejected() {
+        let plan = FaultPlan::none().with_partition_wave(PartitionWave {
+            at: SimTime::from_secs(10.0),
+            fraction: 1.5,
+            down_for: SimDuration::from_secs(10.0),
+        });
+        plan.validate();
+    }
+
+    #[test]
+    fn burst_spec_exposes_closed_form_loss() {
+        let b = BurstLossSpec {
+            from: SimTime::ZERO,
+            until: SimTime::from_secs(100.0),
+            p_enter_bad: 0.05,
+            p_exit_bad: 0.20,
+            loss_good: 0.02,
+            loss_bad: 0.70,
+        };
+        b.validate();
+        assert!((b.channel().stationary_loss() - 0.156).abs() < 1e-12);
     }
 }

@@ -8,16 +8,18 @@
 //! timelines, traces — lives in [`crate::observer`] implementations, not
 //! here.
 
-use crate::observer::{BroadcastInfo, JsonlTrace, ObserverBus, SimObserver, TrafficTimeline};
+use crate::observer::{
+    BroadcastInfo, JsonlTrace, ObserverBus, SimObserver, SuppressReason, TrafficTimeline,
+};
 use crate::scenario::{InterestWorkload, MobilityKind, Scenario};
 use crate::tracker::DeliveryTracker;
 use ia_core::{
-    build_protocol, Action, ActionSink, AdId, AdMessage, Advertisement, PeerContext, PeerId,
+    build_protocol, codec, Action, ActionSink, AdId, AdMessage, Advertisement, PeerContext, PeerId,
     Protocol, RxMeta, UserProfile,
 };
 use ia_des::{rng::stream, Scheduler, SimDuration, SimRng, SimTime};
-use ia_mobility::{Fleet, Manhattan, MobilityModel, RandomWaypoint, Stationary};
-use ia_radio::Medium;
+use ia_mobility::{Fleet, GpsNoise, Manhattan, MobilityModel, RandomWaypoint, Stationary};
+use ia_radio::{DropReason, Medium};
 use std::sync::Arc;
 
 /// Events driving one run.
@@ -53,6 +55,12 @@ pub struct World {
     peers: Vec<Box<dyn Protocol>>,
     rngs: Vec<SimRng>,
     radio_rng: SimRng,
+    /// Frame-corruption draws (fault injection); consumed only while a
+    /// corruption window is active, so fault-free runs never touch it.
+    fault_rng: SimRng,
+    /// Per-node GPS-noise streams (fault injection); consumed only while
+    /// a noise ramp is active.
+    gps_rngs: Vec<SimRng>,
     bus: ObserverBus,
     /// The one action buffer every protocol callback pushes into; drained
     /// by `apply` and reused, so dispatch never allocates at steady state.
@@ -121,7 +129,13 @@ impl World {
             ));
         }
 
-        let medium = Medium::new(scenario.radio.clone());
+        let mut medium = Medium::new(scenario.radio.clone());
+        for zone in &scenario.faults.jam_zones {
+            medium.add_jam_zone(*zone);
+        }
+        if let Some(burst) = &scenario.faults.burst_loss {
+            medium.set_burst_loss(burst.from, burst.until, burst.channel());
+        }
         let mut sched = Scheduler::new().with_horizon(end);
         for node in 0..scenario.n_nodes() as u32 {
             sched.schedule_at(start, Event::Start(node));
@@ -156,6 +170,24 @@ impl World {
                 }
             }
         }
+        // Partition waves: membership is drawn per wave from its own
+        // fault stream at build time, so an identical scenario always
+        // takes down an identical set of peers at identical instants.
+        for (w, wave) in scenario.faults.partition_waves.iter().enumerate() {
+            let mut rng = SimRng::derive(
+                scenario.seed,
+                stream::FAULT | stream::fault::PARTITION | w as u64,
+            );
+            for node in 0..scenario.n_peers as u32 {
+                if rng.chance(wave.fraction) {
+                    sched.schedule_at(wave.at, Event::Depart(node));
+                    let back = wave.at + wave.down_for;
+                    if back < end {
+                        sched.schedule_at(back, Event::Rejoin(node));
+                    }
+                }
+            }
+        }
         if let Some(after) = scenario.issuer_offline_after {
             for (i, spec) in scenario.ads.iter().enumerate() {
                 sched.schedule_at(
@@ -182,9 +214,20 @@ impl World {
             bus.attach(Box::new(trace));
         }
         let online = vec![true; scenario.n_nodes()];
+        let gps_rngs: Vec<SimRng> = if scenario.faults.gps_ramps.is_empty() {
+            Vec::new()
+        } else {
+            (0..scenario.n_nodes() as u32)
+                .map(|n| {
+                    SimRng::derive(scenario.seed, stream::FAULT | stream::fault::GPS | n as u64)
+                })
+                .collect()
+        };
 
         World {
             radio_rng: SimRng::derive(scenario.seed, stream::RADIO),
+            fault_rng: SimRng::derive(scenario.seed, stream::FAULT | stream::fault::CORRUPT),
+            gps_rngs,
             scenario,
             fleet,
             medium,
@@ -284,7 +327,7 @@ impl World {
         if let Some(n) = target {
             if !self.online[n as usize] {
                 if let Event::Deliver { msg, to, .. } = &ev {
-                    self.bus.suppress(now, *to, msg);
+                    self.bus.suppress(now, *to, msg, SuppressReason::Offline);
                 }
                 return;
             }
@@ -316,6 +359,32 @@ impl World {
                 });
             }
             Event::Deliver { msg, meta, to } => {
+                // Frame corruption (fault injection): while a corruption
+                // window is active, each delivery may get bit-flipped
+                // between encode and decode. The hardened codec's CRC
+                // trailer turns the flips into a typed decode error and
+                // the receiver drops the frame.
+                let msg = if let Some(c) = self.scenario.faults.corruption {
+                    if c.active(now) && self.fault_rng.chance(c.p_corrupt) {
+                        let mut frame = codec::encode_frame(&msg);
+                        let flips = 1 + self.fault_rng.range_u64(0, c.max_flips as u64);
+                        for _ in 0..flips {
+                            let bit = self.fault_rng.range_u64(0, frame.len() as u64 * 8);
+                            frame[(bit / 8) as usize] ^= 1 << (bit % 8);
+                        }
+                        match codec::decode_frame(&frame) {
+                            Ok(recovered) => Arc::new(recovered), // CRC escape (~2⁻³²)
+                            Err(_) => {
+                                self.bus.suppress(now, to, &msg, SuppressReason::Corrupted);
+                                return;
+                            }
+                        }
+                    } else {
+                        msg
+                    }
+                } else {
+                    msg
+                };
                 self.bus.deliver(now, to, &msg, &meta);
                 self.dispatch(to, now, |peer, ctx, out| {
                     peer.on_receive(ctx, &msg, &meta, out)
@@ -361,7 +430,24 @@ impl World {
         now: SimTime,
         f: impl FnOnce(&mut dyn Protocol, &mut PeerContext<'_>) -> R,
     ) -> R {
-        let position = self.fleet.position(node, now);
+        let mut position = self.fleet.position(node, now);
+        // GPS degradation (fault injection): protocols observe a noisy
+        // position while a ramp is active; ground truth — and with it the
+        // delivery metrics and the radio's propagation geometry — stays
+        // exact. Overlapping ramps compose by adding variances.
+        if !self.gps_rngs.is_empty() {
+            let sigma2: f64 = self
+                .scenario
+                .faults
+                .gps_ramps
+                .iter()
+                .map(|r| r.sigma_at(now).powi(2))
+                .sum();
+            if sigma2 > 0.0 {
+                position =
+                    GpsNoise::new(sigma2.sqrt()).apply(position, &mut self.gps_rngs[node as usize]);
+            }
+        }
         let velocity = self
             .fleet
             .estimated_velocity(node, now, VELOCITY_FIX_WINDOW);
@@ -379,20 +465,30 @@ impl World {
             match action {
                 Action::Broadcast(msg) => {
                     let bytes = msg.bytes();
-                    let before = self.medium.stats().clone();
-                    let deliveries =
+                    let outcome =
                         self.medium
                             .broadcast(&self.fleet, now, node, bytes, &mut self.radio_rng);
-                    let after = self.medium.stats();
+                    let count = |r: DropReason| {
+                        outcome.drops.iter().filter(|d| d.reason == r).count() as u64
+                    };
                     let info = BroadcastInfo {
                         bytes,
-                        receivers: deliveries.len(),
-                        dropped: after.drops - before.drops,
-                        collisions: after.collisions - before.collisions,
+                        receivers: outcome.deliveries.len(),
+                        dropped: count(DropReason::Loss),
+                        jammed: count(DropReason::Jam),
+                        collisions: count(DropReason::Collision),
                     };
                     let shared = Arc::new(msg);
                     self.bus.broadcast(now, node, &shared, &info);
-                    for d in deliveries {
+                    for d in &outcome.drops {
+                        let reason = match d.reason {
+                            DropReason::Loss => SuppressReason::ChannelLoss,
+                            DropReason::Jam => SuppressReason::Jammed,
+                            DropReason::Collision => SuppressReason::Collision,
+                        };
+                        self.bus.suppress(now, d.to, &shared, reason);
+                    }
+                    for d in outcome.deliveries {
                         self.sched.schedule_at(
                             d.arrival,
                             Event::Deliver {
@@ -687,7 +783,7 @@ mod tests {
         fn on_accept(&mut self, _: SimTime, _: u32, _: AdId) {
             self.accepts += 1;
         }
-        fn on_suppress(&mut self, _: SimTime, _: u32, _: &AdMessage) {
+        fn on_suppress(&mut self, _: SimTime, _: u32, _: &AdMessage, _: SuppressReason) {
             self.suppresses += 1;
         }
         fn on_round(&mut self, _: SimTime, _: u32) {
@@ -797,5 +893,170 @@ mod tests {
         // them), so holder counts at the horizon are only a sanity signal.
         let holders = w.holders(ad);
         assert!(holders > 20, "only {holders} holders");
+    }
+
+    // ---- fault injection (chaos plans) ------------------------------
+
+    use crate::observer::FaultLedger;
+    use crate::scenario::{BurstLossSpec, CorruptionSpec, FaultPlan, PartitionWave};
+    use ia_geo::Point;
+    use ia_mobility::NoiseRamp;
+    use ia_radio::JamZone;
+
+    #[test]
+    fn jam_zone_suppresses_frames_and_stays_deterministic() {
+        // A large dead region parked on the advertising area for most of
+        // the run: receivers inside hear nothing.
+        let faults = FaultPlan::none().with_jam_zone(JamZone::stationary(
+            Point::new(2500.0, 2500.0),
+            800.0,
+            SimTime::from_secs(20.0),
+            SimTime::from_secs(280.0),
+        ));
+        let run = |seed| {
+            let s = tiny(ProtocolKind::Gossip, 150, seed).with_faults(faults.clone());
+            let mut w = World::new(s);
+            w.attach_observer(Box::new(HookCounter::default()));
+            w.run();
+            let jammed = w.medium().stats().jammed;
+            let suppresses = w.observer::<HookCounter>().unwrap().suppresses;
+            (
+                w.medium().stats().clone(),
+                w.tracker().outcomes(),
+                jammed,
+                suppresses,
+            )
+        };
+        let a = run(41);
+        let b = run(41);
+        assert!(a.2 > 0, "no frames jammed");
+        assert!(a.3 as u64 >= a.2, "every jam must surface via on_suppress");
+        assert_eq!(a, b, "jammed run must be reproducible");
+    }
+
+    #[test]
+    fn burst_loss_window_drops_frames_on_an_otherwise_clean_channel() {
+        // The paper radio has LossModel::None, so every drop below comes
+        // from the injected Gilbert–Elliott window.
+        let faults = FaultPlan::none().with_burst_loss(BurstLossSpec {
+            from: SimTime::from_secs(30.0),
+            until: SimTime::from_secs(250.0),
+            p_enter_bad: 0.1,
+            p_exit_bad: 0.2,
+            loss_good: 0.02,
+            loss_bad: 0.8,
+        });
+        let s = tiny(ProtocolKind::Gossip, 150, 42).with_faults(faults);
+        let mut w = World::new(s);
+        w.run();
+        assert!(w.medium().stats().drops > 0, "burst window never dropped");
+        let tl = w.timeline();
+        let lost: u64 = tl.rounds().iter().map(|r| r.lost).sum();
+        assert_eq!(lost, w.medium().stats().drops, "timeline must bin losses");
+    }
+
+    #[test]
+    fn corruption_window_is_caught_by_the_crc_and_ledgered() {
+        let faults = FaultPlan::none().with_corruption(CorruptionSpec {
+            from: SimTime::from_secs(20.0),
+            until: SimTime::from_secs(280.0),
+            p_corrupt: 0.3,
+            max_flips: 4,
+        });
+        let run = || {
+            let s = tiny(ProtocolKind::Gossip, 150, 43).with_faults(faults.clone());
+            let mut w = World::new(s);
+            w.attach_observer(Box::new(FaultLedger::new(SimDuration::from_secs(5.0))));
+            w.run();
+            let corrupted = w
+                .observer::<FaultLedger>()
+                .unwrap()
+                .count(SuppressReason::Corrupted);
+            (
+                w.medium().stats().clone(),
+                w.tracker().outcomes(),
+                corrupted,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert!(a.2 > 0, "no frames corrupted in a 260 s window at p = 0.3");
+        assert_eq!(a, b, "corrupted run must be reproducible");
+    }
+
+    #[test]
+    fn partition_wave_departs_then_heals_and_gossip_survives() {
+        let faults = FaultPlan::none().with_partition_wave(PartitionWave {
+            at: SimTime::from_secs(60.0),
+            fraction: 0.5,
+            down_for: SimDuration::from_secs(60.0),
+        });
+        let s = tiny(ProtocolKind::Gossip, 200, 44).with_faults(faults);
+        let mut w = World::new(s);
+        w.attach_observer(Box::new(HookCounter::default()));
+        w.run();
+        let c = w.observer::<HookCounter>().expect("counter attached");
+        assert!(c.departs >= 60, "wave should take ~half of 200 peers down");
+        assert_eq!(c.departs, c.rejoins, "every partitioned peer heals");
+        let out = &w.tracker().outcomes()[0];
+        assert!(
+            out.delivery_rate > 50.0,
+            "store-&-forward gossip should ride out a healing partition, got {}",
+            out.delivery_rate
+        );
+    }
+
+    #[test]
+    fn gps_ramp_perturbs_decisions_but_not_determinism() {
+        let faults = FaultPlan::none().with_gps_ramp(NoiseRamp::new(
+            SimTime::from_secs(20.0),
+            SimTime::from_secs(280.0),
+            300.0,
+        ));
+        let run = |f: &FaultPlan| {
+            let s = tiny(ProtocolKind::OptGossip, 150, 45).with_faults(f.clone());
+            let mut w = World::new(s);
+            w.run();
+            (w.medium().stats().clone(), w.tracker().outcomes())
+        };
+        let noisy_a = run(&faults);
+        let noisy_b = run(&faults);
+        assert_eq!(noisy_a, noisy_b, "GPS noise must be reproducible");
+        let clean = run(&FaultPlan::none());
+        assert_ne!(
+            noisy_a.0.messages, clean.0.messages,
+            "300 m position error should change distance-based decisions"
+        );
+    }
+
+    #[test]
+    fn fault_ledger_attachment_does_not_change_outcomes() {
+        let faults = FaultPlan::none()
+            .with_jam_zone(JamZone::stationary(
+                Point::new(2000.0, 2500.0),
+                600.0,
+                SimTime::from_secs(30.0),
+                SimTime::from_secs(200.0),
+            ))
+            .with_corruption(CorruptionSpec {
+                from: SimTime::from_secs(20.0),
+                until: SimTime::from_secs(280.0),
+                p_corrupt: 0.2,
+                max_flips: 8,
+            });
+        let scenario = || tiny(ProtocolKind::Gossip, 150, 46).with_faults(faults.clone());
+        let plain = {
+            let mut w = World::new(scenario());
+            w.run();
+            (w.medium().stats().clone(), w.tracker().outcomes())
+        };
+        let mut w = World::new(scenario());
+        w.attach_observer(Box::new(FaultLedger::new(SimDuration::from_secs(5.0))));
+        w.run();
+        assert_eq!(w.medium().stats(), &plain.0);
+        assert_eq!(w.tracker().outcomes(), plain.1);
+        let ledger = w.observer::<FaultLedger>().unwrap();
+        assert!(ledger.faulted() > 0, "ledger must have seen the faults");
+        assert!(ledger.survival_rate() < 1.0);
     }
 }

@@ -7,13 +7,60 @@
 use ia_core::ProtocolKind;
 use ia_des::{SimDuration, SimTime};
 use ia_experiments::{
-    run_scenario, run_seeds_with_threads, JsonlTrace, RunResult, Scenario, SimObserver, World,
+    run_scenario, run_seeds_with_threads, BurstLossSpec, CorruptionSpec, FaultLedger, FaultPlan,
+    JsonlTrace, PartitionWave, RunResult, Scenario, SimObserver, World,
 };
+use ia_geo::Point;
+use ia_mobility::NoiseRamp;
+use ia_radio::JamZone;
 
 fn scenario() -> Scenario {
     Scenario::paper(ProtocolKind::OptGossip, 60)
         .with_seed(77)
         .with_life_cycle(SimDuration::from_secs(250.0))
+}
+
+/// A scenario exercising every fault class at once: jamming, burst loss,
+/// frame corruption, a partition wave, and a GPS degradation ramp.
+fn chaotic_scenario() -> Scenario {
+    let faults = FaultPlan::none()
+        .with_jam_zone(
+            JamZone::stationary(
+                Point::new(2200.0, 2500.0),
+                700.0,
+                SimTime::from_secs(30.0),
+                SimTime::from_secs(200.0),
+            )
+            .moving(ia_geo::Vector::new(3.0, 0.0)),
+        )
+        .with_burst_loss(BurstLossSpec {
+            from: SimTime::from_secs(20.0),
+            until: SimTime::from_secs(220.0),
+            p_enter_bad: 0.08,
+            p_exit_bad: 0.25,
+            loss_good: 0.01,
+            loss_bad: 0.6,
+        })
+        .with_corruption(CorruptionSpec {
+            from: SimTime::from_secs(15.0),
+            until: SimTime::from_secs(230.0),
+            p_corrupt: 0.15,
+            max_flips: 6,
+        })
+        .with_partition_wave(PartitionWave {
+            at: SimTime::from_secs(90.0),
+            fraction: 0.3,
+            down_for: SimDuration::from_secs(45.0),
+        })
+        .with_gps_ramp(NoiseRamp::new(
+            SimTime::from_secs(40.0),
+            SimTime::from_secs(210.0),
+            120.0,
+        ));
+    Scenario::paper(ProtocolKind::Gossip, 90)
+        .with_seed(909)
+        .with_life_cycle(SimDuration::from_secs(250.0))
+        .with_faults(faults)
 }
 
 /// Exact equality of everything a run reports, including the float
@@ -94,4 +141,56 @@ fn run_result_is_identical_with_and_without_extra_observers() {
     // And the threaded sweep agrees with the solo world too.
     let sweep = run_seeds_with_threads(&s, &[s.seed], 1);
     assert_identical(&baseline, &sweep[0], "sweep vs solo");
+}
+
+#[test]
+fn fault_injected_run_is_identical_across_thread_counts() {
+    let s = chaotic_scenario();
+    let seeds: Vec<u64> = (909..913).collect();
+    let single = run_seeds_with_threads(&s, &seeds, 1);
+    // The chaos plan must actually bite in at least one seed, otherwise
+    // this test pins nothing interesting.
+    assert!(
+        single.iter().any(|r| r.traffic.jammed > 0),
+        "no jamming observed"
+    );
+    assert!(
+        single.iter().any(|r| r.traffic.drops > 0),
+        "no burst loss observed"
+    );
+    for threads in [2, 4, 8] {
+        let multi = run_seeds_with_threads(&s, &seeds, threads);
+        for (i, (a, b)) in single.iter().zip(&multi).enumerate() {
+            assert_identical(a, b, &format!("chaos seed {} threads {threads}", seeds[i]));
+        }
+    }
+}
+
+#[test]
+fn fault_ledger_does_not_perturb_a_fault_injected_run() {
+    let s = chaotic_scenario();
+    let baseline = run_scenario(&s);
+
+    let mut w = World::new(s.clone());
+    w.attach_observer(Box::new(FaultLedger::new(s.params.round_time)));
+    w.attach_observer(Box::new(NoisyObserver::default()));
+    w.run();
+    let ads = w.tracker().outcomes();
+    let delivery_time_dist = (0..ads.len())
+        .map(|i| w.tracker().delivery_time_distribution(i))
+        .collect();
+    let observed = RunResult {
+        ads,
+        delivery_time_dist,
+        traffic: w.medium().stats().clone(),
+    };
+    assert_identical(&baseline, &observed, "fault ledger attach");
+
+    let ledger = w.observer::<FaultLedger>().expect("ledger attached");
+    assert!(
+        ledger.faulted() > 0,
+        "chaos plan must register in the ledger"
+    );
+    assert!(ledger.departs() > 0, "partition wave must register");
+    assert!(ledger.survival_rate() < 1.0);
 }

@@ -34,7 +34,7 @@ pub use density::DensityMap;
 pub use fleet::Fleet;
 pub use manhattan::Manhattan;
 pub use model::MobilityModel;
-pub use noise::GpsNoise;
+pub use noise::{GpsNoise, NoiseRamp};
 pub use random_waypoint::RandomWaypoint;
 pub use stationary::Stationary;
 pub use trajectory::{Leg, Trajectory};

@@ -7,7 +7,7 @@
 //! error. Noise is a *view* applied at sampling time — the underlying
 //! ground-truth trajectory (used by delivery metrics) stays exact.
 
-use ia_des::SimRng;
+use ia_des::{SimRng, SimTime};
 use ia_geo::{Point, Vector};
 
 /// Isotropic Gaussian position noise with standard deviation
@@ -45,6 +45,51 @@ impl GpsNoise {
         }
         let (nx, ny) = Self::standard_normal_pair(rng);
         truth + Vector::new(nx * self.sigma, ny * self.sigma)
+    }
+}
+
+/// A time-windowed GPS degradation ramp (fault injection).
+///
+/// Outside `[from, until)` the ramp contributes no noise. Inside it the
+/// per-axis standard deviation rises linearly from 0 at `from` to
+/// `sigma_peak` at the window midpoint and falls back to 0 at `until` —
+/// a triangular profile that models a receiver drifting through an urban
+/// canyon or a slow ionospheric disturbance rather than a step change.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseRamp {
+    pub from: SimTime,
+    pub until: SimTime,
+    pub sigma_peak: f64,
+}
+
+impl NoiseRamp {
+    pub fn new(from: SimTime, until: SimTime, sigma_peak: f64) -> Self {
+        assert!(until > from, "empty ramp window");
+        assert!(
+            sigma_peak >= 0.0 && sigma_peak.is_finite(),
+            "invalid sigma_peak {sigma_peak}"
+        );
+        NoiseRamp {
+            from,
+            until,
+            sigma_peak,
+        }
+    }
+
+    /// The ramp's noise level at `t` (0 outside the window).
+    pub fn sigma_at(&self, t: SimTime) -> f64 {
+        if t < self.from || t >= self.until {
+            return 0.0;
+        }
+        let span = self.until.since(self.from).as_secs();
+        let x = t.since(self.from).as_secs() / span; // in [0, 1)
+        let tri = 1.0 - (2.0 * x - 1.0).abs(); // 0 → 1 → 0
+        self.sigma_peak * tri
+    }
+
+    /// The instantaneous [`GpsNoise`] view at `t`.
+    pub fn noise_at(&self, t: SimTime) -> GpsNoise {
+        GpsNoise::new(self.sigma_at(t))
     }
 }
 
@@ -92,5 +137,37 @@ mod tests {
     #[should_panic(expected = "invalid sigma")]
     fn negative_sigma_rejected() {
         let _ = GpsNoise::new(-1.0);
+    }
+
+    #[test]
+    fn ramp_is_triangular_and_zero_outside_window() {
+        let ramp = NoiseRamp::new(SimTime::from_secs(100.0), SimTime::from_secs(200.0), 8.0);
+        assert_eq!(ramp.sigma_at(SimTime::from_secs(50.0)), 0.0);
+        assert_eq!(ramp.sigma_at(SimTime::from_secs(100.0)), 0.0);
+        assert!((ramp.sigma_at(SimTime::from_secs(125.0)) - 4.0).abs() < 1e-9);
+        assert!((ramp.sigma_at(SimTime::from_secs(150.0)) - 8.0).abs() < 1e-9);
+        assert!((ramp.sigma_at(SimTime::from_secs(175.0)) - 4.0).abs() < 1e-9);
+        assert_eq!(ramp.sigma_at(SimTime::from_secs(200.0)), 0.0);
+        assert_eq!(ramp.sigma_at(SimTime::from_secs(999.0)), 0.0);
+    }
+
+    #[test]
+    fn ramp_noise_view_applies_current_sigma() {
+        let ramp = NoiseRamp::new(SimTime::ZERO, SimTime::from_secs(10.0), 5.0);
+        // Outside the window the view is exact.
+        let mut rng = SimRng::from_master(4);
+        let p = Point::new(3.0, 4.0);
+        assert_eq!(
+            ramp.noise_at(SimTime::from_secs(20.0)).apply(p, &mut rng),
+            p
+        );
+        // At the peak it perturbs.
+        assert_ne!(ramp.noise_at(SimTime::from_secs(5.0)).apply(p, &mut rng), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty ramp window")]
+    fn ramp_rejects_empty_window() {
+        let _ = NoiseRamp::new(SimTime::from_secs(5.0), SimTime::from_secs(5.0), 1.0);
     }
 }

@@ -23,6 +23,37 @@ pub struct Delivery {
     pub distance: f64,
 }
 
+/// Why the channel withheld a frame copy from one receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// The loss model (i.i.d., distance ramp, or burst channel) ate it.
+    Loss,
+    /// The receiver sat inside an active jamming zone.
+    Jam,
+    /// An overlapping transmission collided at the receiver.
+    Collision,
+}
+
+/// One receiver-side frame loss, reported alongside the deliveries so the
+/// simulation can surface every drop cause through its suppression hook.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameDrop {
+    /// The receiver that missed the frame.
+    pub to: u32,
+    /// Why it missed it.
+    pub reason: DropReason,
+}
+
+/// Channel outcome of one broadcast: who hears the frame and who loses it
+/// (both in deterministic node-id order).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BroadcastOutcome {
+    /// Successful receptions to schedule as receive events.
+    pub deliveries: Vec<Delivery>,
+    /// Receiver-side losses, tagged by cause.
+    pub drops: Vec<FrameDrop>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -24,7 +24,7 @@ pub mod stats;
 
 pub use config::RadioConfig;
 pub use contention::Contention;
-pub use frame::Delivery;
-pub use loss::LossModel;
-pub use medium::Medium;
+pub use frame::{BroadcastOutcome, Delivery, DropReason, FrameDrop};
+pub use loss::{GilbertElliott, LossModel};
+pub use medium::{JamZone, Medium};
 pub use stats::TrafficStats;

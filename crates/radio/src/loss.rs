@@ -41,6 +41,97 @@ impl LossModel {
     }
 }
 
+/// A Gilbert–Elliott two-state burst-loss channel.
+///
+/// The channel alternates between a *good* and a *bad* state following a
+/// two-state Markov chain; each per-receiver sample first advances the
+/// chain, then draws loss at the current state's rate. Unlike the
+/// memoryless [`LossModel`]s, losses cluster into bursts — the channel
+/// condition that gossip's store-&-forward redundancy is supposed to ride
+/// out and that per-wave flooding cannot.
+///
+/// The chain's stationary distribution gives the closed-form average loss
+/// rate ([`GilbertElliott::stationary_loss`]); the mean burst (bad-state
+/// sojourn) length is `1 / p_exit_bad` samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GilbertElliott {
+    /// Per-sample transition probability good → bad.
+    p_enter_bad: f64,
+    /// Per-sample transition probability bad → good.
+    p_exit_bad: f64,
+    /// Loss probability while in the good state.
+    loss_good: f64,
+    /// Loss probability while in the bad state.
+    loss_bad: f64,
+    /// Current chain state.
+    in_bad: bool,
+}
+
+impl GilbertElliott {
+    /// Build a channel starting in the good state.
+    pub fn new(p_enter_bad: f64, p_exit_bad: f64, loss_good: f64, loss_bad: f64) -> Self {
+        for (name, p) in [
+            ("p_enter_bad", p_enter_bad),
+            ("p_exit_bad", p_exit_bad),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} = {p} outside [0, 1]");
+        }
+        assert!(
+            p_enter_bad > 0.0 && p_exit_bad > 0.0,
+            "degenerate chain: transition probabilities must be positive"
+        );
+        GilbertElliott {
+            p_enter_bad,
+            p_exit_bad,
+            loss_good,
+            loss_bad,
+            in_bad: false,
+        }
+    }
+
+    /// The classic Gilbert channel: lossless good state.
+    pub fn gilbert(p_enter_bad: f64, p_exit_bad: f64, loss_bad: f64) -> Self {
+        Self::new(p_enter_bad, p_exit_bad, 0.0, loss_bad)
+    }
+
+    /// Stationary probability of being in the bad state.
+    pub fn stationary_bad(&self) -> f64 {
+        self.p_enter_bad / (self.p_enter_bad + self.p_exit_bad)
+    }
+
+    /// Closed-form long-run loss rate:
+    /// `p_bad * loss_bad + p_good * loss_good`.
+    pub fn stationary_loss(&self) -> f64 {
+        let pb = self.stationary_bad();
+        pb * self.loss_bad + (1.0 - pb) * self.loss_good
+    }
+
+    /// Is the chain currently in the bad state?
+    pub fn in_bad(&self) -> bool {
+        self.in_bad
+    }
+
+    /// Advance the chain one sample and draw whether that sample's frame
+    /// is lost.
+    pub fn drops(&mut self, rng: &mut SimRng) -> bool {
+        let flip = if self.in_bad {
+            self.p_exit_bad
+        } else {
+            self.p_enter_bad
+        };
+        if rng.chance(flip) {
+            self.in_bad = !self.in_bad;
+        }
+        rng.chance(if self.in_bad {
+            self.loss_bad
+        } else {
+            self.loss_good
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,5 +181,102 @@ mod tests {
             assert!(p >= last);
             last = p;
         }
+    }
+
+    /// Mean length of loss runs (consecutive dropped samples) in a
+    /// sampled loss sequence.
+    fn mean_loss_run(samples: &[bool]) -> f64 {
+        let mut runs = 0u64;
+        let mut lost = 0u64;
+        let mut prev = false;
+        for &s in samples {
+            if s {
+                lost += 1;
+                if !prev {
+                    runs += 1;
+                }
+            }
+            prev = s;
+        }
+        if runs == 0 {
+            0.0
+        } else {
+            lost as f64 / runs as f64
+        }
+    }
+
+    #[test]
+    fn gilbert_elliott_matches_closed_form_stationary_loss() {
+        let mut ge = GilbertElliott::new(0.05, 0.20, 0.02, 0.70);
+        let expected = ge.stationary_loss();
+        // p_bad = 0.05/0.25 = 0.2; loss = 0.2*0.7 + 0.8*0.02 = 0.156.
+        assert!((expected - 0.156).abs() < 1e-12);
+        let mut rng = SimRng::from_master(42);
+        let n = 400_000;
+        let lost = (0..n).filter(|_| ge.drops(&mut rng)).count();
+        let observed = lost as f64 / n as f64;
+        assert!(
+            (observed - expected).abs() < 0.005,
+            "observed {observed} vs closed-form {expected}"
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_is_burstier_than_iid_at_equal_average_loss() {
+        let mut ge = GilbertElliott::gilbert(0.02, 0.10, 0.9);
+        let p = ge.stationary_loss();
+        let mut rng = SimRng::from_master(7);
+        let n = 200_000;
+        let ge_seq: Vec<bool> = (0..n).map(|_| ge.drops(&mut rng)).collect();
+        let iid = LossModel::Bernoulli(p);
+        let iid_seq: Vec<bool> = (0..n).map(|_| iid.drops(0.0, 250.0, &mut rng)).collect();
+        // Equal average loss (sanity)...
+        let ge_rate = ge_seq.iter().filter(|&&s| s).count() as f64 / n as f64;
+        let iid_rate = iid_seq.iter().filter(|&&s| s).count() as f64 / n as f64;
+        assert!((ge_rate - iid_rate).abs() < 0.01, "{ge_rate} vs {iid_rate}");
+        // ...but clustered drops: mean loss-run length well above i.i.d.
+        let ge_burst = mean_loss_run(&ge_seq);
+        let iid_burst = mean_loss_run(&iid_seq);
+        assert!(
+            ge_burst > 2.0 * iid_burst,
+            "GE burst {ge_burst} vs iid {iid_burst}"
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_chain_visits_both_states() {
+        let mut ge = GilbertElliott::new(0.1, 0.1, 0.0, 1.0);
+        assert!(!ge.in_bad());
+        let mut rng = SimRng::from_master(3);
+        let mut saw_bad = false;
+        let mut saw_good = false;
+        for _ in 0..1000 {
+            ge.drops(&mut rng);
+            saw_bad |= ge.in_bad();
+            saw_good |= !ge.in_bad();
+        }
+        assert!(saw_bad && saw_good);
+    }
+
+    #[test]
+    fn gilbert_elliott_is_deterministic_per_stream() {
+        let mk = || {
+            let mut ge = GilbertElliott::gilbert(0.05, 0.2, 0.8);
+            let mut rng = SimRng::from_master(11);
+            (0..500).map(|_| ge.drops(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn gilbert_elliott_rejects_bad_probability() {
+        let _ = GilbertElliott::new(0.5, 0.5, 0.0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate chain")]
+    fn gilbert_elliott_rejects_absorbing_state() {
+        let _ = GilbertElliott::new(0.0, 0.5, 0.0, 1.0);
     }
 }

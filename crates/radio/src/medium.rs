@@ -2,23 +2,93 @@
 
 use crate::config::RadioConfig;
 use crate::contention::{airtime, Contention, TxLog};
-use crate::frame::Delivery;
+use crate::frame::{BroadcastOutcome, Delivery, DropReason, FrameDrop};
+use crate::loss::GilbertElliott;
 use crate::stats::TrafficStats;
 use ia_des::{SimRng, SimTime};
-use ia_geo::UniformGrid;
+use ia_geo::{Point, UniformGrid};
 use ia_mobility::Fleet;
+
+/// A circular dead region: receivers inside an active zone hear nothing
+/// (the jammer raises their noise floor above any signal). Zones may
+/// drift at a constant velocity — a jammer mounted on a vehicle.
+///
+/// Jamming is receiver-side: a sender inside a zone can still reach
+/// receivers outside it, but nobody inside the zone receives anything
+/// while it is active.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JamZone {
+    /// Zone centre at `from`.
+    pub center: Point,
+    /// Dead-region radius, metres.
+    pub radius: f64,
+    /// Drift velocity, m/s per axis (zero for a stationary jammer).
+    pub velocity: ia_geo::Vector,
+    /// Activation time.
+    pub from: SimTime,
+    /// Deactivation time (exclusive).
+    pub until: SimTime,
+}
+
+impl JamZone {
+    /// A stationary zone active over `[from, until)`.
+    pub fn stationary(center: Point, radius: f64, from: SimTime, until: SimTime) -> Self {
+        JamZone {
+            center,
+            radius,
+            velocity: ia_geo::Vector::ZERO,
+            from,
+            until,
+        }
+    }
+
+    /// Give the zone a drift velocity.
+    pub fn moving(mut self, velocity: ia_geo::Vector) -> Self {
+        self.velocity = velocity;
+        self
+    }
+
+    pub fn validate(&self) {
+        assert!(
+            self.radius > 0.0 && self.radius.is_finite(),
+            "non-positive jam radius"
+        );
+        assert!(self.until > self.from, "empty jam window");
+        assert!(self.velocity.is_finite(), "non-finite jam velocity");
+    }
+
+    /// Zone centre at time `t` (meaningful only while active).
+    pub fn center_at(&self, t: SimTime) -> Point {
+        let dt = t.since(self.from).as_secs();
+        self.center + self.velocity * dt
+    }
+
+    /// Is `p` inside the dead region at time `t`?
+    pub fn covers(&self, t: SimTime, p: Point) -> bool {
+        if t < self.from || t >= self.until {
+            return false;
+        }
+        self.center_at(t).distance(p) <= self.radius
+    }
+}
 
 /// A shared wireless channel over a [`Fleet`] of mobile nodes.
 ///
 /// The medium owns the traffic statistics and a lazily rebuilt spatial
 /// grid; the simulation world calls [`Medium::broadcast`] and schedules
-/// the returned [`Delivery`] records as receive events.
+/// the returned [`Delivery`] records as receive events, surfacing the
+/// accompanying [`FrameDrop`]s through its suppression hook.
 pub struct Medium {
     config: RadioConfig,
     stats: TrafficStats,
     grid: Option<(SimTime, UniformGrid)>,
     scratch: Vec<(u32, ia_geo::Point)>,
     tx_log: TxLog,
+    /// Active jamming zones (fault injection).
+    jam_zones: Vec<JamZone>,
+    /// Burst-loss channel plus its activity window (fault injection).
+    /// Applies on top of `config.loss`.
+    burst: Option<(SimTime, SimTime, GilbertElliott)>,
 }
 
 impl Medium {
@@ -30,6 +100,8 @@ impl Medium {
             grid: None,
             scratch: Vec::new(),
             tx_log: TxLog::new(),
+            jam_zones: Vec::new(),
+            burst: None,
         }
     }
 
@@ -39,6 +111,20 @@ impl Medium {
 
     pub fn stats(&self) -> &TrafficStats {
         &self.stats
+    }
+
+    /// Install a jamming zone (fault injection). Zones are checked per
+    /// receiver on every broadcast while their window is active.
+    pub fn add_jam_zone(&mut self, zone: JamZone) {
+        zone.validate();
+        self.jam_zones.push(zone);
+    }
+
+    /// Install a Gilbert–Elliott burst-loss channel active over
+    /// `[from, until)`, layered on top of the configured loss model.
+    pub fn set_burst_loss(&mut self, from: SimTime, until: SimTime, channel: GilbertElliott) {
+        assert!(until > from, "empty burst-loss window");
+        self.burst = Some((from, until, channel));
     }
 
     /// Ensure the neighbour grid snapshot is no staler than
@@ -61,10 +147,15 @@ impl Medium {
     /// Broadcast a frame of `bytes` bytes from `src` at time `now`.
     ///
     /// Returns one [`Delivery`] per receiver that actually hears the frame
-    /// (in deterministic node-id order), with independent arrival jitter.
-    /// The sender never receives its own frame. Exactness: candidates come
-    /// from the (possibly stale) grid with a widened radius, then are
-    /// filtered against exact positions at `now`.
+    /// plus one [`FrameDrop`] per receiver the channel silenced (both in
+    /// deterministic node-id order), with independent arrival jitter on
+    /// the deliveries. The sender never receives its own frame. Exactness:
+    /// candidates come from the (possibly stale) grid with a widened
+    /// radius, then are filtered against exact positions at `now`.
+    ///
+    /// Per-receiver checks run in a fixed order — collision, jamming,
+    /// burst channel, loss model — so RNG consumption is identical for
+    /// identical scenarios.
     pub fn broadcast(
         &mut self,
         fleet: &Fleet,
@@ -72,7 +163,7 @@ impl Medium {
         src: u32,
         bytes: usize,
         rng: &mut SimRng,
-    ) -> Vec<Delivery> {
+    ) -> BroadcastOutcome {
         let built_at = self.refresh_grid(fleet, now);
         let staleness = now.since(built_at).as_secs();
         // Both the sender and the candidates may have moved since the
@@ -84,9 +175,9 @@ impl Medium {
         grid.query_disk_into(sender_pos, self.config.range + margin, &mut scratch);
 
         let frame_airtime = airtime(bytes, self.config.bitrate_bps);
-        let mut deliveries = Vec::new();
-        let mut dropped = 0usize;
-        let mut collided = 0usize;
+        let burst_active =
+            matches!(&self.burst, Some((from, until, _)) if now >= *from && now < *until);
+        let mut out = BroadcastOutcome::default();
         for &(id, _snap_pos) in scratch.iter() {
             if id == src {
                 continue;
@@ -96,23 +187,39 @@ impl Medium {
             if distance > self.config.range {
                 continue;
             }
-            if self.config.contention == Contention::Aloha
+            let reason = if self.config.contention == Contention::Aloha
                 && self
                     .tx_log
                     .collides(now, sender_pos, true_pos, self.config.range, frame_airtime)
             {
-                collided += 1;
-                continue;
-            }
-            if self.config.loss.drops(distance, self.config.range, rng) {
-                dropped += 1;
+                Some(DropReason::Collision)
+            } else if self.jam_zones.iter().any(|z| z.covers(now, true_pos)) {
+                Some(DropReason::Jam)
+            } else if (burst_active
+                && self
+                    .burst
+                    .as_mut()
+                    .expect("burst_active checked")
+                    .2
+                    .drops(rng))
+                || self.config.loss.drops(distance, self.config.range, rng)
+            {
+                // Short-circuit keeps the draw order fixed: the burst
+                // channel samples first (only inside its window), the
+                // configured loss model only if the burst let it through.
+                Some(DropReason::Loss)
+            } else {
+                None
+            };
+            if let Some(reason) = reason {
+                out.drops.push(FrameDrop { to: id, reason });
                 continue;
             }
             let jitter_micros = rng.range_u64(
                 self.config.delay_min.as_micros(),
                 self.config.delay_max.as_micros() + 1,
             );
-            deliveries.push(Delivery {
+            out.deliveries.push(Delivery {
                 to: id,
                 arrival: now + ia_des::SimDuration::from_micros(jitter_micros),
                 sender_pos,
@@ -125,9 +232,15 @@ impl Medium {
             self.tx_log.prune(now);
             self.tx_log.record(now, sender_pos);
         }
-        self.stats
-            .record_broadcast(bytes, deliveries.len(), dropped, collided);
-        deliveries
+        let count = |r: DropReason| out.drops.iter().filter(|d| d.reason == r).count();
+        self.stats.record_broadcast(
+            bytes,
+            out.deliveries.len(),
+            count(DropReason::Loss),
+            count(DropReason::Jam),
+            count(DropReason::Collision),
+        );
+        out
     }
 
     /// Nodes currently within range of `node` (excluding itself), in id
@@ -174,9 +287,10 @@ mod tests {
         let fleet = static_fleet(&[(0.0, 0.0), (100.0, 0.0), (249.0, 0.0), (251.0, 0.0)]);
         let mut medium = Medium::new(RadioConfig::paper());
         let mut rng = SimRng::from_master(1);
-        let ds = medium.broadcast(&fleet, SimTime::from_secs(1.0), 0, 100, &mut rng);
-        let to: Vec<u32> = ds.iter().map(|d| d.to).collect();
+        let out = medium.broadcast(&fleet, SimTime::from_secs(1.0), 0, 100, &mut rng);
+        let to: Vec<u32> = out.deliveries.iter().map(|d| d.to).collect();
         assert_eq!(to, vec![1, 2]);
+        assert!(out.drops.is_empty());
         assert_eq!(medium.stats().messages, 1);
         assert_eq!(medium.stats().receptions, 2);
         assert_eq!(medium.stats().bytes_sent, 100);
@@ -187,8 +301,8 @@ mod tests {
         let fleet = static_fleet(&[(0.0, 0.0), (1.0, 0.0)]);
         let mut medium = Medium::new(RadioConfig::paper());
         let mut rng = SimRng::from_master(2);
-        let ds = medium.broadcast(&fleet, SimTime::ZERO, 0, 10, &mut rng);
-        assert!(ds.iter().all(|d| d.to != 0));
+        let out = medium.broadcast(&fleet, SimTime::ZERO, 0, 10, &mut rng);
+        assert!(out.deliveries.iter().all(|d| d.to != 0));
     }
 
     #[test]
@@ -198,8 +312,8 @@ mod tests {
         let mut rng = SimRng::from_master(3);
         let now = SimTime::from_secs(5.0);
         for _ in 0..100 {
-            let ds = medium.broadcast(&fleet, now, 0, 10, &mut rng);
-            let d = ds[0];
+            let out = medium.broadcast(&fleet, now, 0, 10, &mut rng);
+            let d = out.deliveries[0];
             assert!(d.arrival >= now + SimDuration::from_millis(1));
             assert!(d.arrival <= now + SimDuration::from_millis(10));
         }
@@ -210,10 +324,10 @@ mod tests {
         let fleet = static_fleet(&[(0.0, 0.0), (30.0, 40.0)]);
         let mut medium = Medium::new(RadioConfig::paper());
         let mut rng = SimRng::from_master(4);
-        let ds = medium.broadcast(&fleet, SimTime::ZERO, 0, 10, &mut rng);
-        assert_eq!(ds[0].from, 0);
-        assert_eq!(ds[0].sender_pos, Point::new(0.0, 0.0));
-        assert!((ds[0].distance - 50.0).abs() < 1e-9);
+        let out = medium.broadcast(&fleet, SimTime::ZERO, 0, 10, &mut rng);
+        assert_eq!(out.deliveries[0].from, 0);
+        assert_eq!(out.deliveries[0].sender_pos, Point::new(0.0, 0.0));
+        assert!((out.deliveries[0].distance - 50.0).abs() < 1e-9);
     }
 
     #[test]
@@ -221,8 +335,8 @@ mod tests {
         let fleet = static_fleet(&[(0.0, 0.0), (5000.0, 5000.0)]);
         let mut medium = Medium::new(RadioConfig::paper());
         let mut rng = SimRng::from_master(5);
-        let ds = medium.broadcast(&fleet, SimTime::ZERO, 0, 10, &mut rng);
-        assert!(ds.is_empty());
+        let out = medium.broadcast(&fleet, SimTime::ZERO, 0, 10, &mut rng);
+        assert!(out.deliveries.is_empty());
         assert_eq!(medium.stats().dead_air, 1);
     }
 
@@ -232,9 +346,90 @@ mod tests {
         let cfg = RadioConfig::paper().with_loss(LossModel::Bernoulli(1.0));
         let mut medium = Medium::new(cfg);
         let mut rng = SimRng::from_master(6);
-        let ds = medium.broadcast(&fleet, SimTime::ZERO, 0, 10, &mut rng);
-        assert!(ds.is_empty());
+        let out = medium.broadcast(&fleet, SimTime::ZERO, 0, 10, &mut rng);
+        assert!(out.deliveries.is_empty());
+        assert_eq!(
+            out.drops,
+            vec![
+                FrameDrop {
+                    to: 1,
+                    reason: DropReason::Loss
+                },
+                FrameDrop {
+                    to: 2,
+                    reason: DropReason::Loss
+                },
+            ]
+        );
         assert_eq!(medium.stats().drops, 2);
+    }
+
+    #[test]
+    fn jam_zone_silences_covered_receivers_only() {
+        // Node 1 inside the zone, node 2 outside it; both in radio range.
+        let fleet = static_fleet(&[(0.0, 0.0), (100.0, 0.0), (0.0, 200.0)]);
+        let mut medium = Medium::new(RadioConfig::paper());
+        medium.add_jam_zone(JamZone::stationary(
+            Point::new(100.0, 0.0),
+            50.0,
+            SimTime::ZERO,
+            SimTime::from_secs(10.0),
+        ));
+        let mut rng = SimRng::from_master(7);
+        let out = medium.broadcast(&fleet, SimTime::from_secs(1.0), 0, 10, &mut rng);
+        assert_eq!(
+            out.deliveries.iter().map(|d| d.to).collect::<Vec<_>>(),
+            vec![2]
+        );
+        assert_eq!(
+            out.drops,
+            vec![FrameDrop {
+                to: 1,
+                reason: DropReason::Jam
+            }]
+        );
+        assert_eq!(medium.stats().jammed, 1);
+        // After the window the zone is inert.
+        let out = medium.broadcast(&fleet, SimTime::from_secs(11.0), 0, 10, &mut rng);
+        assert_eq!(out.deliveries.len(), 2);
+        assert!(out.drops.is_empty());
+    }
+
+    #[test]
+    fn moving_jam_zone_tracks_its_velocity() {
+        let z = JamZone::stationary(
+            Point::new(0.0, 0.0),
+            100.0,
+            SimTime::ZERO,
+            SimTime::from_secs(100.0),
+        )
+        .moving(ia_geo::Vector::new(10.0, 0.0));
+        // At t=50 the centre is at (500, 0).
+        assert!(z.covers(SimTime::from_secs(50.0), Point::new(450.0, 0.0)));
+        assert!(!z.covers(SimTime::from_secs(50.0), Point::new(50.0, 0.0)));
+        // Outside the window nothing is covered.
+        assert!(!z.covers(SimTime::from_secs(150.0), Point::new(1500.0, 0.0)));
+    }
+
+    #[test]
+    fn burst_loss_applies_only_inside_its_window() {
+        let fleet = static_fleet(&[(0.0, 0.0), (10.0, 0.0)]);
+        let mut medium = Medium::new(RadioConfig::paper());
+        // A channel pinned to the bad state with certain loss.
+        medium.set_burst_loss(
+            SimTime::from_secs(10.0),
+            SimTime::from_secs(20.0),
+            GilbertElliott::new(1.0, 1e-9, 0.0, 1.0),
+        );
+        let mut rng = SimRng::from_master(8);
+        let before = medium.broadcast(&fleet, SimTime::from_secs(5.0), 0, 10, &mut rng);
+        assert_eq!(before.deliveries.len(), 1);
+        let during = medium.broadcast(&fleet, SimTime::from_secs(15.0), 0, 10, &mut rng);
+        assert!(during.deliveries.is_empty());
+        assert_eq!(during.drops[0].reason, DropReason::Loss);
+        let after = medium.broadcast(&fleet, SimTime::from_secs(25.0), 0, 10, &mut rng);
+        assert_eq!(after.deliveries.len(), 1);
+        assert_eq!(medium.stats().drops, 1);
     }
 
     #[test]
@@ -259,6 +454,7 @@ mod tests {
         assert_eq!(
             medium
                 .broadcast(&fleet, SimTime::ZERO, 0, 10, &mut rng)
+                .deliveries
                 .len(),
             1
         );
@@ -266,6 +462,7 @@ mod tests {
         assert_eq!(
             medium
                 .broadcast(&fleet, SimTime::from_secs(0.9), 0, 10, &mut rng)
+                .deliveries
                 .len(),
             0
         );
@@ -293,6 +490,7 @@ mod tests {
         assert_eq!(
             medium
                 .broadcast(&fleet, SimTime::ZERO, 0, 10, &mut rng)
+                .deliveries
                 .len(),
             0
         );
@@ -300,6 +498,7 @@ mod tests {
         assert_eq!(
             medium
                 .broadcast(&fleet, SimTime::from_secs(0.9), 0, 10, &mut rng)
+                .deliveries
                 .len(),
             1
         );
@@ -321,8 +520,8 @@ mod tests {
         let fleet = static_fleet(&[(0.0, 0.0), (10.0, 0.0), (20.0, 0.0), (30.0, 0.0)]);
         let mut medium = Medium::new(RadioConfig::paper());
         let mut rng = SimRng::from_master(9);
-        let ds = medium.broadcast(&fleet, SimTime::ZERO, 2, 10, &mut rng);
-        let to: Vec<u32> = ds.iter().map(|d| d.to).collect();
+        let out = medium.broadcast(&fleet, SimTime::ZERO, 2, 10, &mut rng);
+        let to: Vec<u32> = out.deliveries.iter().map(|d| d.to).collect();
         assert_eq!(to, vec![0, 1, 3]);
     }
 }

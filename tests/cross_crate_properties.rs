@@ -27,8 +27,8 @@ proptest! {
         ]);
         let mut medium = Medium::new(RadioConfig::paper());
         let mut rng = SimRng::from_master(seed);
-        let a_hits_b = !medium.broadcast(&fleet, SimTime::ZERO, 0, 10, &mut rng).is_empty();
-        let b_hits_a = !medium.broadcast(&fleet, SimTime::ZERO, 1, 10, &mut rng).is_empty();
+        let a_hits_b = !medium.broadcast(&fleet, SimTime::ZERO, 0, 10, &mut rng).deliveries.is_empty();
+        let b_hits_a = !medium.broadcast(&fleet, SimTime::ZERO, 1, 10, &mut rng).deliveries.is_empty();
         prop_assert_eq!(a_hits_b, b_hits_a);
     }
 
