@@ -1,17 +1,29 @@
 //! Event identities.
 
+use crate::time::SimTime;
+
 /// A handle to a scheduled event, usable to cancel it before it fires.
 ///
-/// Ids are unique within one [`crate::EventQueue`] (they are the queue's
-/// monotonically increasing sequence numbers, which double as the FIFO
-/// tie-breaker for simultaneous events).
+/// A handle is the event's full heap key: its scheduled time plus the
+/// queue's monotonically increasing sequence number (which doubles as
+/// the FIFO tie-breaker for simultaneous events). Carrying the time lets
+/// the queue validate cancellations against its pop watermark instead of
+/// tracking every live id in a hash set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EventId(pub(crate) u64);
+pub struct EventId {
+    pub(crate) time: SimTime,
+    pub(crate) seq: u64,
+}
 
 impl EventId {
     /// The raw sequence number, exposed for logging/diagnostics.
     pub fn raw(&self) -> u64 {
-        self.0
+        self.seq
+    }
+
+    /// The instant the event was scheduled to fire.
+    pub fn time(&self) -> SimTime {
+        self.time
     }
 }
 
@@ -19,9 +31,18 @@ impl EventId {
 mod tests {
     use super::*;
 
+    fn id(secs: f64, seq: u64) -> EventId {
+        EventId {
+            time: SimTime::from_secs(secs),
+            seq,
+        }
+    }
+
     #[test]
-    fn ids_are_ordered_by_sequence() {
-        assert!(EventId(1) < EventId(2));
-        assert_eq!(EventId(7).raw(), 7);
+    fn ids_are_ordered_by_time_then_sequence() {
+        assert!(id(1.0, 9) < id(2.0, 1));
+        assert!(id(2.0, 1) < id(2.0, 2));
+        assert_eq!(id(3.0, 7).raw(), 7);
+        assert_eq!(id(3.0, 7).time(), SimTime::from_secs(3.0));
     }
 }

@@ -5,9 +5,19 @@
 //! same guarantee, and several protocol behaviours — e.g. "receive before
 //! your own round timer at the same instant" — depend on a stable order).
 //!
-//! Cancellation uses tombstones: `cancel` moves the id from the `live` set
-//! to the `cancelled` set, and `pop` skips tombstoned entries lazily. Both
+//! Cancellation uses tombstones: `cancel` records the id in the
+//! `cancelled` set, and `pop` skips tombstoned entries lazily. Both
 //! operations stay `O(log n)` amortised without an indexed heap.
+//!
+//! Liveness is a plain counter, not a set: the hot push/pop path touches
+//! no hash table. Cancel validation ("has this event already fired?")
+//! works off a *watermark* instead — entries leave the heap in strictly
+//! increasing `(time, seq)` key order, so an [`EventId`] (which carries
+//! its full key) is in the past exactly when its key is at or below the
+//! last key taken off the heap. The one unsupported pattern is pushing an
+//! event at a time at or below the watermark (scheduling into the past):
+//! such an entry still pops, but `cancel` would misreport it as fired —
+//! the [`crate::Scheduler`] layer rejects past scheduling outright.
 
 use crate::event::EventId;
 use crate::time::SimTime;
@@ -39,11 +49,18 @@ impl<E> Ord for Entry<E> {
 /// A time-ordered, FIFO-stable, cancellable event queue.
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    /// Ids pushed but not yet popped or cancelled.
-    live: HashSet<u64>,
+    /// Count of pending (non-cancelled) events.
+    live: usize,
     /// Ids cancelled but whose heap entry has not been skipped yet.
     cancelled: HashSet<u64>,
     next_seq: u64,
+    /// Key of the last entry taken off the heap (fired or tombstone).
+    /// Keys leave the heap in strictly increasing order, so anything at
+    /// or below the watermark is in the past.
+    watermark: Option<(SimTime, u64)>,
+    /// Sequence floor set by [`Self::clear`]: lower ids were discarded
+    /// wholesale and are neither pending nor cancellable.
+    floor_seq: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -56,52 +73,63 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            live: HashSet::new(),
+            live: 0,
             cancelled: HashSet::new(),
             next_seq: 0,
+            watermark: None,
+            floor_seq: 0,
         }
     }
 
     /// Number of live (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.live.len()
+        self.live
     }
 
     pub fn is_empty(&self) -> bool {
-        self.live.is_empty()
+        self.live == 0
     }
 
     /// Enqueue `event` at time `t` and return a cancellable handle.
     pub fn push(&mut self, t: SimTime, event: E) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.live.insert(seq);
+        self.live += 1;
         self.heap.push(Entry {
             key: Reverse((t, seq)),
             event,
         });
-        EventId(seq)
+        EventId { time: t, seq }
     }
 
     /// Cancel a pending event. Returns `false` if the event already fired
     /// or was already cancelled.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if self.live.remove(&id.0) {
-            self.cancelled.insert(id.0);
-            true
-        } else {
-            false
+        let fired = self.watermark.is_some_and(|w| (id.time, id.seq) <= w);
+        if id.seq >= self.next_seq
+            || id.seq < self.floor_seq
+            || fired
+            || self.cancelled.contains(&id.seq)
+        {
+            return false;
         }
+        self.cancelled.insert(id.seq);
+        self.live -= 1;
+        true
     }
 
     /// Pop the earliest live event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
             let Reverse((t, seq)) = entry.key;
+            // Tombstones advance the watermark too: their keys are past
+            // once skipped, so a re-cancel of the same handle stays false
+            // even after the id leaves the `cancelled` set.
+            self.watermark = Some((t, seq));
             if self.cancelled.remove(&seq) {
                 continue;
             }
-            self.live.remove(&seq);
+            self.live -= 1;
             return Some((t, entry.event));
         }
         None
@@ -110,11 +138,12 @@ impl<E> EventQueue<E> {
     /// Timestamp of the earliest live event, or `None` when empty.
     pub fn peek_time(&self) -> Option<SimTime> {
         // `BinaryHeap` cannot skip-peek, so scan for the minimum among
-        // live entries. This is O(n) in the presence of cancellations but
-        // is only used for diagnostics, never in the hot pop loop.
+        // live entries (everything in the heap that is not a tombstone).
+        // This is O(n) in the presence of cancellations but is only used
+        // for diagnostics, never in the hot pop loop.
         self.heap
             .iter()
-            .filter(|e| self.live.contains(&e.key.0 .1))
+            .filter(|e| !self.cancelled.contains(&e.key.0 .1))
             .map(|e| e.key.0 .0)
             .min()
     }
@@ -123,7 +152,9 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
         self.cancelled.clear();
-        self.live.clear();
+        self.live = 0;
+        self.floor_seq = self.next_seq;
+        self.watermark = None;
     }
 }
 
@@ -164,10 +195,38 @@ mod tests {
     fn cancel_unknown_or_fired_returns_false() {
         let mut q = EventQueue::new();
         let a = q.push(t(1.0), 1);
-        assert!(!q.cancel(EventId(99)));
+        let unknown = EventId {
+            time: t(9.0),
+            seq: 99,
+        };
+        assert!(!q.cancel(unknown));
         q.pop();
         assert!(!q.cancel(a), "cancelling a fired event must be a no-op");
         assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn cancel_after_tombstone_skipped_is_false() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1.0), 1);
+        q.push(t(2.0), 2);
+        assert!(q.cancel(a));
+        // The pop at t=2 skips a's tombstone on the way.
+        assert_eq!(q.pop(), Some((t(2.0), 2)));
+        assert!(!q.cancel(a), "skipped tombstone must stay cancelled");
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn cancel_after_clear_is_false() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(5.0), 1);
+        q.clear();
+        assert!(!q.cancel(a), "cleared events are not cancellable");
+        // Ids issued after the clear behave normally.
+        let b = q.push(t(1.0), 2);
+        assert!(q.cancel(b));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

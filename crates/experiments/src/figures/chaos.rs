@@ -15,6 +15,11 @@
 //! Faults are timed to hit the critical early phase of the ad life cycle
 //! (the first 300 s), so the matrix shape is the same at `--quick` and
 //! full scale.
+//!
+//! With `--csv DIR`, every (intensity, protocol) cell additionally drops
+//! the first seed's per-round [`FaultLedger`] timeline as
+//! `chaos_rounds_<level>_<protocol>.csv` — the collapse-vs-heal curves
+//! behind the endpoint aggregates.
 
 use super::Options;
 use crate::observer::FaultLedger;
@@ -116,6 +121,20 @@ pub fn levels() -> Vec<Level> {
     ]
 }
 
+/// File-name-safe form of a protocol label.
+fn slug(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
 /// Per-cell aggregates over the option's seeds.
 struct Cell {
     delivery_rate: f64,
@@ -147,6 +166,20 @@ fn chaos_point(opts: &Options, level: &Level, kind: ProtocolKind) -> Cell {
         let ledger = w.observer::<FaultLedger>().expect("ledger attached");
         faulted.push(ledger.faulted() as f64);
         survival.push(100.0 * ledger.survival_rate());
+        // Collapse-vs-heal curves: the first seed's per-round ledger
+        // timeline, one CSV per (intensity, protocol) cell.
+        if seed == opts.seeds[0] {
+            if let Some(dir) = &opts.csv_dir {
+                std::fs::create_dir_all(dir).expect("create csv dir");
+                let path = format!(
+                    "{dir}/chaos_rounds_{}_{}.csv",
+                    level.label,
+                    slug(kind.label())
+                );
+                std::fs::write(&path, ledger.to_csv()).expect("write csv");
+                println!("wrote {path}");
+            }
+        }
     }
     let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
     Cell {
@@ -200,7 +233,31 @@ mod tests {
     /// 4 = faulted, 5 = survival.
     #[test]
     fn matrix_shows_gossip_degrading_gracefully_and_flooding_collapsing() {
-        let t = run_matrix(&Options::quick());
+        let dir = std::env::temp_dir().join(format!("ia_chaos_rounds_{}", std::process::id()));
+        let mut opts = Options::quick();
+        opts.csv_dir = Some(dir.to_string_lossy().into_owned());
+        let t = run_matrix(&opts);
+
+        // Every (intensity, protocol) cell dropped a per-round ledger CSV.
+        for level in ["none", "moderate", "severe"] {
+            for proto in ["flooding", "gossiping", "optimized_gossiping"] {
+                let path = dir.join(format!("chaos_rounds_{level}_{proto}.csv"));
+                let csv = std::fs::read_to_string(&path).expect("round csv written");
+                assert!(csv.starts_with("round,t_start_s,delivered,faulted,degradation\n"));
+                assert!(csv.lines().count() > 1, "{path:?} has no data rows");
+            }
+        }
+        // The severe rung must ledger real per-round faults.
+        let severe = std::fs::read_to_string(dir.join("chaos_rounds_severe_gossiping.csv"))
+            .expect("severe csv");
+        assert!(
+            severe
+                .lines()
+                .skip(1)
+                .any(|l| l.split(',').nth(3).is_some_and(|f| f != "0")),
+            "severe gossiping rounds ledgered no faults:\n{severe}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
         assert_eq!(t.n_rows(), 9);
         let rate = |row: usize| t.cell_f64(row, 2);
         let msgs = |row: usize| t.cell_f64(row, 3);

@@ -480,6 +480,24 @@ impl FaultLedger {
             .fold(0.0, f64::max)
     }
 
+    /// CSV dump of the per-round delivered/faulted/degradation timeline
+    /// (one row per bucket from t = 0) so figure scripts can plot
+    /// collapse-vs-heal curves instead of endpoint aggregates.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("round,t_start_s,delivered,faulted,degradation\n");
+        for (i, r) in self.rounds.iter().enumerate() {
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                i,
+                i as f64 * self.bucket.as_secs(),
+                r.delivered,
+                r.faulted,
+                r.degradation(),
+            ));
+        }
+        out
+    }
+
     /// One-line human summary for experiment output.
     pub fn summary(&self) -> String {
         format!(
@@ -842,6 +860,10 @@ mod tests {
             s.contains("delivered=2") && s.contains("survival=50.0%"),
             "{s}"
         );
+        let csv = ledger.to_csv();
+        assert!(csv.starts_with("round,t_start_s,delivered,faulted,degradation\n"));
+        assert_eq!(csv.lines().count(), 3); // header + 2 buckets
+        assert!(csv.contains("\n1,5,0,1,1\n"), "{csv}");
     }
 
     #[test]

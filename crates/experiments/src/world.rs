@@ -18,8 +18,10 @@ use ia_core::{
     Protocol, RxMeta, UserProfile,
 };
 use ia_des::{rng::stream, Scheduler, SimDuration, SimRng, SimTime};
-use ia_mobility::{Fleet, GpsNoise, Manhattan, MobilityModel, RandomWaypoint, Stationary};
-use ia_radio::{DropReason, Medium};
+use ia_mobility::{
+    Fleet, FleetCursor, GpsNoise, Manhattan, MobilityModel, RandomWaypoint, Stationary,
+};
+use ia_radio::{BroadcastOutcome, DropReason, Medium};
 use std::sync::Arc;
 
 /// Events driving one run.
@@ -65,6 +67,12 @@ pub struct World {
     /// The one action buffer every protocol callback pushes into; drained
     /// by `apply` and reused, so dispatch never allocates at steady state.
     sink: ActionSink,
+    /// The one broadcast-outcome buffer `apply` recycles across
+    /// transmissions (same take/restore discipline as `sink`).
+    outcome: BroadcastOutcome,
+    /// Leg-cursor cache for the context builder's position/velocity
+    /// lookups; the medium keeps its own.
+    cursor: FleetCursor,
     ad_ids: Vec<AdId>,
     /// Per-node online flag; departed nodes are radio-silent and ignore
     /// timers.
@@ -236,6 +244,8 @@ impl World {
             rngs,
             bus,
             sink: ActionSink::new(),
+            outcome: BroadcastOutcome::default(),
+            cursor: FleetCursor::new(),
             ad_ids,
             online,
         }
@@ -298,6 +308,12 @@ impl World {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.sched.now()
+    }
+
+    /// Total scheduler events delivered so far (the perf harness's
+    /// denominator for ns/event).
+    pub fn events_processed(&self) -> u64 {
+        self.sched.events_processed()
     }
 
     /// Snapshot for visualisation: every node's position at `t` plus
@@ -430,7 +446,7 @@ impl World {
         now: SimTime,
         f: impl FnOnce(&mut dyn Protocol, &mut PeerContext<'_>) -> R,
     ) -> R {
-        let mut position = self.fleet.position(node, now);
+        let mut position = self.cursor.position(&self.fleet, node, now);
         // GPS degradation (fault injection): protocols observe a noisy
         // position while a ramp is active; ground truth — and with it the
         // delivery metrics and the radio's propagation geometry — stays
@@ -449,8 +465,8 @@ impl World {
             }
         }
         let velocity = self
-            .fleet
-            .estimated_velocity(node, now, VELOCITY_FIX_WINDOW);
+            .cursor
+            .estimated_velocity(&self.fleet, node, now, VELOCITY_FIX_WINDOW);
         let mut ctx = PeerContext {
             now,
             position,
@@ -465,9 +481,17 @@ impl World {
             match action {
                 Action::Broadcast(msg) => {
                     let bytes = msg.bytes();
-                    let outcome =
-                        self.medium
-                            .broadcast(&self.fleet, now, node, bytes, &mut self.radio_rng);
+                    // Take/restore the outcome buffer (like `sink`) so the
+                    // scheduler below can borrow the rest of `self`.
+                    let mut outcome = std::mem::take(&mut self.outcome);
+                    self.medium.broadcast_into(
+                        &self.fleet,
+                        now,
+                        node,
+                        bytes,
+                        &mut self.radio_rng,
+                        &mut outcome,
+                    );
                     let count = |r: DropReason| {
                         outcome.drops.iter().filter(|d| d.reason == r).count() as u64
                     };
@@ -488,7 +512,7 @@ impl World {
                         };
                         self.bus.suppress(now, d.to, &shared, reason);
                     }
-                    for d in outcome.deliveries {
+                    for d in outcome.deliveries.drain(..) {
                         self.sched.schedule_at(
                             d.arrival,
                             Event::Deliver {
@@ -502,6 +526,7 @@ impl World {
                             },
                         );
                     }
+                    self.outcome = outcome;
                 }
                 Action::ScheduleRound(at) => {
                     self.sched.schedule_at(at.max(now), Event::Round(node));

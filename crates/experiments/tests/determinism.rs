@@ -74,6 +74,96 @@ fn assert_identical(a: &RunResult, b: &RunResult, what: &str) {
     assert_eq!(a.traffic, b.traffic, "{what}: traffic differs");
 }
 
+/// The fault plan of the frozen reference runs below (every fault class
+/// at once, like [`chaotic_scenario`], at the pinned parameters).
+fn golden_faults() -> FaultPlan {
+    FaultPlan::none()
+        .with_jam_zone(
+            JamZone::stationary(
+                Point::new(2200.0, 2500.0),
+                700.0,
+                SimTime::from_secs(30.0),
+                SimTime::from_secs(200.0),
+            )
+            .moving(ia_geo::Vector::new(3.0, 0.0)),
+        )
+        .with_burst_loss(BurstLossSpec {
+            from: SimTime::from_secs(20.0),
+            until: SimTime::from_secs(220.0),
+            p_enter_bad: 0.08,
+            p_exit_bad: 0.25,
+            loss_good: 0.01,
+            loss_bad: 0.6,
+        })
+        .with_corruption(CorruptionSpec {
+            from: SimTime::from_secs(15.0),
+            until: SimTime::from_secs(230.0),
+            p_corrupt: 0.15,
+            max_flips: 6,
+        })
+        .with_partition_wave(PartitionWave {
+            at: SimTime::from_secs(90.0),
+            fraction: 0.3,
+            down_for: SimDuration::from_secs(45.0),
+        })
+        .with_gps_ramp(NoiseRamp::new(
+            SimTime::from_secs(40.0),
+            SimTime::from_secs(210.0),
+            120.0,
+        ))
+}
+
+fn golden_scenario(kind: ProtocolKind, faulted: bool) -> Scenario {
+    let mut s = Scenario::paper(kind, 80)
+        .with_seed(4242)
+        .with_life_cycle(SimDuration::from_secs(250.0));
+    if faulted {
+        s = s.with_faults(golden_faults());
+    }
+    s
+}
+
+/// Full [`RunResult`]s captured from the build *before* the hot-path
+/// overhaul (mobility leg cursors, recycled broadcast outcomes, the
+/// watermark event queue), printed via `Debug` — which round-trips every
+/// `f64` exactly, so string equality is bitwise equality. Any optimization
+/// that perturbs a position value, an RNG draw, or an event ordering
+/// shows up here as a diff against the frozen reference.
+const GOLDEN_PINS: [(ProtocolKind, bool, &str); 4] = [
+    (
+        ProtocolKind::Flooding,
+        false,
+        r#"RunResult { ads: [AdOutcome { id: AdId { issuer: PeerId(80), seq: 0 }, passed: 42, delivered: 18, passages: 46, delivered_passages: 19, delivery_rate: 41.30434782608695, mean_delivery_time: 64.18520710526316 }], delivery_time_dist: [Distribution { count: 19, mean: 64.18520710526316, p50: 70.297316, p90: 96.17644179999999, p99: 168.85214182, max: 181.87165 }], traffic: TrafficStats { messages: 216, receptions: 378, drops: 0, jammed: 0, bytes_sent: 71496, dead_air: 0, collisions: 0 } }"#,
+    ),
+    (
+        ProtocolKind::Flooding,
+        true,
+        r#"RunResult { ads: [AdOutcome { id: AdId { issuer: PeerId(80), seq: 0 }, passed: 42, delivered: 11, passages: 46, delivered_passages: 12, delivery_rate: 26.08695652173913, mean_delivery_time: 90.342301 }], delivery_time_dist: [Distribution { count: 12, mean: 90.342301, p50: 76.38692, p90: 181.6653331, p99: 233.63479015000004, max: 240.031932 }], traffic: TrafficStats { messages: 110, receptions: 163, drops: 5, jammed: 50, bytes_sent: 36410, dead_air: 35, collisions: 0 } }"#,
+    ),
+    (
+        ProtocolKind::Gossip,
+        false,
+        r#"RunResult { ads: [AdOutcome { id: AdId { issuer: PeerId(80), seq: 0 }, passed: 42, delivered: 28, passages: 46, delivered_passages: 29, delivery_rate: 63.04347826086956, mean_delivery_time: 41.19462403448276 }], delivery_time_dist: [Distribution { count: 29, mean: 41.19462403448276, p50: 42.130984, p90: 79.5995654, p99: 124.92992367999994, max: 136.757521 }], traffic: TrafficStats { messages: 438, receptions: 591, drops: 0, jammed: 0, bytes_sent: 139722, dead_air: 73, collisions: 0 } }"#,
+    ),
+    (
+        ProtocolKind::Gossip,
+        true,
+        r#"RunResult { ads: [AdOutcome { id: AdId { issuer: PeerId(80), seq: 0 }, passed: 42, delivered: 27, passages: 46, delivered_passages: 28, delivery_rate: 60.869565217391305, mean_delivery_time: 66.10092214285713 }], delivery_time_dist: [Distribution { count: 28, mean: 66.10092214285713, p50: 52.2742765, p90: 149.0014084, p99: 202.2063961, max: 205.661551 }], traffic: TrafficStats { messages: 301, receptions: 321, drops: 22, jammed: 101, bytes_sent: 96019, dead_air: 125, collisions: 0 } }"#,
+    ),
+];
+
+#[test]
+fn run_results_match_pre_optimization_reference_builds() {
+    for (kind, faulted, expected) in GOLDEN_PINS {
+        let r = run_scenario(&golden_scenario(kind, faulted));
+        assert_eq!(
+            format!("{r:?}"),
+            expected,
+            "{kind:?} faulted={faulted}: results drifted from the frozen pre-optimization reference"
+        );
+    }
+}
+
 #[test]
 fn run_result_is_identical_across_thread_counts() {
     let s = scenario();

@@ -1,0 +1,168 @@
+//! Per-node leg-cursor cache for amortized O(1) trajectory lookups.
+//!
+//! The DES clock is monotone non-decreasing, so successive position
+//! queries for a node almost always land on the same leg as the last
+//! query or the one after it. [`FleetCursor`] remembers the last leg
+//! index per node and resumes the scan there, falling back to binary
+//! search only on backward jumps (e.g. the `t - dt` probe of
+//! [`Fleet::estimated_velocity`], which gets its own hint lane so the
+//! probe series is itself monotone).
+//!
+//! The cursor is pure acceleration: every lookup returns the exact same
+//! value as the corresponding [`Fleet`] method (the hinted index always
+//! equals the binary-search index — a stale hint only costs speed), so
+//! holders can share one immutable [`Fleet`] and keep their own mutable
+//! cursors without perturbing results.
+
+use crate::fleet::Fleet;
+use ia_des::{SimDuration, SimTime};
+use ia_geo::{Point, Vector};
+
+/// Cached leg indices for every node of a [`Fleet`].
+///
+/// Separate from the fleet itself because fleets are shared immutably
+/// (worlds, observers, parallel sweeps) while cursors are per-holder
+/// mutable state. Lazily sized on first use; indexing is by the fleet's
+/// dense `u32` node ids.
+#[derive(Debug, Clone, Default)]
+pub struct FleetCursor {
+    /// Current-leg hint per node, fed by the main (monotone) query time.
+    hints: Vec<u32>,
+    /// Hint lane for the `t - dt` probe of velocity estimation, which
+    /// trails the main clock and would otherwise force a resync on every
+    /// estimate.
+    prev_hints: Vec<u32>,
+}
+
+impl FleetCursor {
+    pub fn new() -> Self {
+        FleetCursor::default()
+    }
+
+    #[inline]
+    fn ensure(&mut self, n: usize) {
+        if self.hints.len() < n {
+            self.hints.resize(n, 0);
+            self.prev_hints.resize(n, 0);
+        }
+    }
+
+    /// Exact position of `node` at `t` (equals [`Fleet::position`]).
+    #[inline]
+    pub fn position(&mut self, fleet: &Fleet, node: u32, t: SimTime) -> Point {
+        self.ensure(fleet.len());
+        let tr = fleet.trajectory(node);
+        let i = tr.leg_index_hinted(t, self.hints[node as usize] as usize);
+        self.hints[node as usize] = i as u32;
+        tr.legs()[i].position_at(t)
+    }
+
+    /// Exact velocity of `node` at `t` (equals [`Fleet::velocity`]).
+    #[inline]
+    pub fn velocity(&mut self, fleet: &Fleet, node: u32, t: SimTime) -> Vector {
+        self.ensure(fleet.len());
+        let tr = fleet.trajectory(node);
+        if t < tr.start_time() || t > tr.end_time() {
+            return Vector::ZERO;
+        }
+        let i = tr.leg_index_hinted(t, self.hints[node as usize] as usize);
+        self.hints[node as usize] = i as u32;
+        tr.legs()[i].velocity()
+    }
+
+    /// Two-fix velocity estimate (equals [`Fleet::estimated_velocity`]).
+    pub fn estimated_velocity(
+        &mut self,
+        fleet: &Fleet,
+        node: u32,
+        t: SimTime,
+        dt: SimDuration,
+    ) -> Vector {
+        let secs = dt.as_secs();
+        if secs <= 0.0 {
+            return Vector::ZERO;
+        }
+        self.ensure(fleet.len());
+        let tr = fleet.trajectory(node);
+        let t_prev = t - dt;
+        let ip = tr.leg_index_hinted(t_prev, self.prev_hints[node as usize] as usize);
+        self.prev_hints[node as usize] = ip as u32;
+        let i = tr.leg_index_hinted(t, self.hints[node as usize] as usize);
+        self.hints[node as usize] = i as u32;
+        let prev = tr.legs()[ip].position_at(t_prev);
+        let cur = tr.legs()[i].position_at(t);
+        (cur - prev) / secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_waypoint::RandomWaypoint;
+    use ia_geo::Rect;
+
+    fn fleet(n: usize, seed: u64) -> Fleet {
+        let model = RandomWaypoint::paper(Rect::with_size(1000.0, 1000.0), 10.0, 5.0);
+        Fleet::generate(&model, n, seed, SimTime::ZERO, SimTime::from_secs(300.0))
+    }
+
+    #[test]
+    fn cursor_matches_fleet_on_monotone_queries() {
+        let f = fleet(8, 11);
+        let mut c = FleetCursor::new();
+        for step in 0..600 {
+            let t = SimTime::from_secs(step as f64 * 0.5);
+            for node in 0..8 {
+                assert_eq!(c.position(&f, node, t), f.position(node, t));
+                assert_eq!(c.velocity(&f, node, t), f.velocity(node, t));
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_matches_fleet_on_backward_jumps() {
+        let f = fleet(4, 23);
+        let mut c = FleetCursor::new();
+        // Jump to the end, then all the way back, then zig-zag.
+        let times = [290.0, 5.0, 150.0, 10.0, 299.0, 0.0, 75.0];
+        for &s in &times {
+            let t = SimTime::from_secs(s);
+            for node in 0..4 {
+                assert_eq!(c.position(&f, node, t), f.position(node, t), "t={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn estimated_velocity_bitwise_equals_fleet() {
+        let f = fleet(6, 37);
+        let mut c = FleetCursor::new();
+        let dt = SimDuration::from_millis(1000);
+        for step in 0..300 {
+            let t = SimTime::from_secs(step as f64);
+            for node in 0..6 {
+                let a = c.estimated_velocity(&f, node, t, dt);
+                let b = f.estimated_velocity(node, t, dt);
+                assert_eq!(a.x.to_bits(), b.x.to_bits(), "node {node} t {t}");
+                assert_eq!(a.y.to_bits(), b.y.to_bits(), "node {node} t {t}");
+            }
+        }
+        assert_eq!(
+            c.estimated_velocity(&f, 0, SimTime::from_secs(10.0), SimDuration::ZERO),
+            Vector::ZERO
+        );
+    }
+
+    #[test]
+    fn clamped_outside_plan_queries_agree() {
+        let f = fleet(3, 5);
+        let mut c = FleetCursor::new();
+        let before = SimTime::ZERO;
+        let after = SimTime::from_secs(10_000.0);
+        for node in 0..3 {
+            assert_eq!(c.position(&f, node, after), f.position(node, after));
+            assert_eq!(c.position(&f, node, before), f.position(node, before));
+            assert_eq!(c.velocity(&f, node, after), Vector::ZERO);
+        }
+    }
+}

@@ -18,8 +18,12 @@
 //! * [`Stationary`] — fixed nodes (e.g. the supermarket issuer).
 //!
 //! [`Fleet`] bundles one trajectory per node and offers bulk position
-//! snapshots plus the paper's two-fix velocity estimate.
+//! snapshots plus the paper's two-fix velocity estimate. [`FleetCursor`]
+//! is a per-holder leg-index cache that turns those lookups into O(1)
+//! amortized scans under the simulator's monotone clock without changing
+//! any returned value.
 
+pub mod cursor;
 pub mod density;
 pub mod fleet;
 pub mod manhattan;
@@ -30,6 +34,7 @@ pub mod random_waypoint;
 pub mod stationary;
 pub mod trajectory;
 
+pub use cursor::FleetCursor;
 pub use density::DensityMap;
 pub use fleet::Fleet;
 pub use manhattan::Manhattan;

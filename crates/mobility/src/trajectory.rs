@@ -126,20 +126,35 @@ impl Trajectory {
         self.legs.last().unwrap().to
     }
 
-    /// Index of the leg active at `t` (clamped to the first/last leg).
-    fn leg_index_at(&self, t: SimTime) -> usize {
+    /// Index of the leg active at `t` (clamped to the first/last leg):
+    /// the last leg starting at or before `t`.
+    pub(crate) fn leg_index_at(&self, t: SimTime) -> usize {
         if t <= self.start_time() {
             return 0;
         }
         if t >= self.end_time() {
             return self.legs.len() - 1;
         }
-        // Binary search on start_time: the active leg is the last one
-        // starting at or before t.
-        match self.legs.binary_search_by(|leg| leg.start_time.cmp(&t)) {
-            Ok(i) => i,
-            Err(i) => i.saturating_sub(1),
+        // Binary search on start_time; partition_point yields the first
+        // leg starting strictly after t, so the active leg precedes it.
+        self.legs.partition_point(|leg| leg.start_time <= t) - 1
+    }
+
+    /// [`Self::leg_index_at`] seeded with a cached `hint` index: O(1)
+    /// amortized when query times are non-decreasing (the DES clock),
+    /// falling back to binary search when the hint overshoots `t`. Any
+    /// hint yields the correct index — a stale one only costs speed.
+    pub(crate) fn leg_index_hinted(&self, t: SimTime, hint: usize) -> usize {
+        let last = self.legs.len() - 1;
+        let mut i = hint.min(last);
+        if t < self.legs[i].start_time {
+            // Backward jump below the hinted leg: resync with a search.
+            return self.leg_index_at(t);
         }
+        while i < last && self.legs[i + 1].start_time <= t {
+            i += 1;
+        }
+        i
     }
 
     /// Exact position at time `t` (clamped outside the plan's interval).

@@ -54,6 +54,16 @@ pub struct BroadcastOutcome {
     pub drops: Vec<FrameDrop>,
 }
 
+impl BroadcastOutcome {
+    /// Empty both record lists, keeping their capacity — callers recycle
+    /// one outcome across broadcasts via [`Medium::broadcast_into`]
+    /// (`crate::Medium`), so the steady-state hot path never allocates.
+    pub fn clear(&mut self) {
+        self.deliveries.clear();
+        self.drops.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,7 +7,7 @@ use crate::loss::GilbertElliott;
 use crate::stats::TrafficStats;
 use ia_des::{SimRng, SimTime};
 use ia_geo::{Point, UniformGrid};
-use ia_mobility::Fleet;
+use ia_mobility::{Fleet, FleetCursor};
 
 /// A circular dead region: receivers inside an active zone hear nothing
 /// (the jammer raises their noise floor above any signal). Zones may
@@ -83,6 +83,10 @@ pub struct Medium {
     stats: TrafficStats,
     grid: Option<(SimTime, UniformGrid)>,
     scratch: Vec<(u32, ia_geo::Point)>,
+    /// Leg-cursor cache for position lookups. Every query the medium
+    /// issues is at the current (monotone) simulation time, so lookups
+    /// are O(1) amortized.
+    cursor: FleetCursor,
     tx_log: TxLog,
     /// Active jamming zones (fault injection).
     jam_zones: Vec<JamZone>,
@@ -99,6 +103,7 @@ impl Medium {
             stats: TrafficStats::new(),
             grid: None,
             scratch: Vec::new(),
+            cursor: FleetCursor::new(),
             tx_log: TxLog::new(),
             jam_zones: Vec::new(),
             burst: None,
@@ -135,9 +140,12 @@ impl Medium {
             None => true,
         };
         if needs_rebuild {
+            let cursor = &mut self.cursor;
             let grid = UniformGrid::build(
                 self.config.range.max(1.0),
-                fleet.iter().map(|(id, tr)| (id, tr.position_at(now))),
+                fleet
+                    .iter()
+                    .map(|(id, _)| (id, cursor.position(fleet, id, now))),
             );
             self.grid = Some((now, grid));
         }
@@ -164,12 +172,31 @@ impl Medium {
         bytes: usize,
         rng: &mut SimRng,
     ) -> BroadcastOutcome {
+        let mut out = BroadcastOutcome::default();
+        self.broadcast_into(fleet, now, src, bytes, rng, &mut out);
+        out
+    }
+
+    /// [`Self::broadcast`] writing into a caller-recycled outcome buffer
+    /// (cleared on entry, capacity retained). This is the zero-alloc
+    /// steady-state primitive: aside from periodic grid rebuilds, repeat
+    /// broadcasts allocate nothing once the buffers have warmed up.
+    pub fn broadcast_into(
+        &mut self,
+        fleet: &Fleet,
+        now: SimTime,
+        src: u32,
+        bytes: usize,
+        rng: &mut SimRng,
+        out: &mut BroadcastOutcome,
+    ) {
+        out.clear();
         let built_at = self.refresh_grid(fleet, now);
         let staleness = now.since(built_at).as_secs();
         // Both the sender and the candidates may have moved since the
         // snapshot, so widen by twice the covered distance.
         let margin = 2.0 * self.config.max_speed * staleness;
-        let sender_pos = fleet.position(src, now);
+        let sender_pos = self.cursor.position(fleet, src, now);
         let (_, grid) = self.grid.as_ref().unwrap();
         let mut scratch = std::mem::take(&mut self.scratch);
         grid.query_disk_into(sender_pos, self.config.range + margin, &mut scratch);
@@ -177,12 +204,11 @@ impl Medium {
         let frame_airtime = airtime(bytes, self.config.bitrate_bps);
         let burst_active =
             matches!(&self.burst, Some((from, until, _)) if now >= *from && now < *until);
-        let mut out = BroadcastOutcome::default();
         for &(id, _snap_pos) in scratch.iter() {
             if id == src {
                 continue;
             }
-            let true_pos = fleet.position(id, now);
+            let true_pos = self.cursor.position(fleet, id, now);
             let distance = sender_pos.distance(true_pos);
             if distance > self.config.range {
                 continue;
@@ -240,27 +266,35 @@ impl Medium {
             count(DropReason::Jam),
             count(DropReason::Collision),
         );
-        out
     }
 
     /// Nodes currently within range of `node` (excluding itself), in id
     /// order — a helper for diagnostics and density measurements.
     pub fn neighbors(&mut self, fleet: &Fleet, now: SimTime, node: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.neighbors_into(fleet, now, node, &mut out);
+        out
+    }
+
+    /// [`Self::neighbors`] writing into a caller-recycled buffer (cleared
+    /// on entry) — density sweeps and diagnostics probe every node every
+    /// sample tick, so the per-call `Vec` is worth recycling.
+    pub fn neighbors_into(&mut self, fleet: &Fleet, now: SimTime, node: u32, out: &mut Vec<u32>) {
+        out.clear();
         let built_at = self.refresh_grid(fleet, now);
         let staleness = now.since(built_at).as_secs();
         let margin = 2.0 * self.config.max_speed * staleness;
-        let pos = fleet.position(node, now);
+        let pos = self.cursor.position(fleet, node, now);
         let (_, grid) = self.grid.as_ref().unwrap();
         let mut scratch = std::mem::take(&mut self.scratch);
         grid.query_disk_into(pos, self.config.range + margin, &mut scratch);
-        let out = scratch
-            .iter()
-            .filter(|&&(id, _)| id != node)
-            .filter(|&&(id, _)| fleet.position(id, now).distance(pos) <= self.config.range)
-            .map(|&(id, _)| id)
-            .collect();
+        for &(id, _) in scratch.iter() {
+            if id != node && self.cursor.position(fleet, id, now).distance(pos) <= self.config.range
+            {
+                out.push(id);
+            }
+        }
         self.scratch = scratch;
-        out
     }
 }
 

@@ -117,15 +117,18 @@ proptest! {
 
 /// Deterministic cross-crate check kept outside proptest: the medium's
 /// neighbour lists agree with brute-force geometry over a moving fleet.
+/// Goes through the reusable-buffer variant, which also proves a single
+/// scratch vector stays correct across interleaved nodes and times.
 #[test]
 fn medium_agrees_with_geometry_over_time() {
     let model = RandomWaypoint::paper(instant_ads::geo::Rect::with_size(2000.0, 2000.0), 10.0, 5.0);
     let fleet = Fleet::generate(&model, 40, 77, SimTime::ZERO, SimTime::from_secs(300.0));
     let mut medium = Medium::new(RadioConfig::paper());
+    let mut got = Vec::new();
     for k in 0..30 {
         let t = SimTime::from_secs(k as f64 * 10.0);
         for node in 0..40u32 {
-            let got = medium.neighbors(&fleet, t, node);
+            medium.neighbors_into(&fleet, t, node, &mut got);
             let pos = fleet.position(node, t);
             let want: Vec<u32> = (0..40u32)
                 .filter(|&o| o != node && fleet.position(o, t).distance(pos) <= 250.0)
