@@ -1,23 +1,30 @@
 //! Persistent perf baseline: wall-clock, events/sec, and ns/event for the
-//! paper-scale fig-7 preset and the ext-6 chaos preset.
+//! paper-scale fig-7 presets, the ext-6 chaos preset, and (with `--city`)
+//! two city-scale presets that stress the flat CSR spatial index.
 //!
-//! Every run writes a JSON report (default `BENCH_3.json`) so future PRs
+//! Every run writes a JSON report (default `BENCH_4.json`) so future PRs
 //! have a trajectory to beat; `--check FILE` turns the binary into a CI
 //! regression gate against a checked-in baseline.
 //!
 //! Usage:
 //!   cargo run --release -p ia-experiments --bin perfstat -- \
-//!       [--quick] [--runs N] [--out FILE] [--check FILE] [--reference FILE]
+//!       [--quick] [--city] [--runs N] [--out FILE] [--check FILE] \
+//!       [--reference FILE]
 //!
 //! * `--quick`      300 s life cycle instead of the paper's 1800 s (CI smoke).
+//! * `--city`       add `fig7-opt-3000` (paper field at 3× density) and
+//!   `city-10000` (10 000 peers at the paper's 40 /km², a ~15.8 km side) —
+//!   off by default so the CI gate stays fast.
 //! * `--runs N`     repeat each preset N times, keep the fastest (default 1;
 //!   timings are min-of-N, event counts are per run and identical across
 //!   repeats by determinism).
-//! * `--out FILE`   where to write the JSON report (default `BENCH_3.json`).
+//! * `--out FILE`   where to write the JSON report (default `BENCH_4.json`).
 //! * `--check FILE` read a previous report and fail (exit 1) if any preset
-//!   regressed by more than 20 % in ns/event.
+//!   regressed by more than 20 % in ns/event (presets absent from the
+//!   baseline are skipped).
 //! * `--reference FILE` embed a pre-optimization report and record the
-//!   wall-clock speedup against it.
+//!   wall-clock speedup against it; presets the reference lacks (e.g. the
+//!   city pair vs a pre-city baseline) are excluded from the totals.
 //!
 //! Presets are single-thread, fixed-seed, release-mode; event counts are
 //! deterministic, wall-clock obviously is not — the 20 % gate leaves room
@@ -27,6 +34,7 @@ use ia_core::ProtocolKind;
 use ia_des::SimDuration;
 use ia_experiments::figures::chaos;
 use ia_experiments::{Scenario, World};
+use ia_geo::{Point, Rect};
 use std::time::Instant;
 
 /// One measured preset.
@@ -88,6 +96,29 @@ fn fig7_presets(quick: bool) -> Vec<(&'static str, Scenario)> {
         ));
     }
     v
+}
+
+/// City-scale presets: the paper field at 3× the densest published point
+/// (grid-cell occupancy stress) and a 10 000-peer city at the paper's
+/// 40 /km² density (offset-table size + rebuild-throughput stress). The
+/// ad stays at the field centre so the workload shape matches fig. 7.
+fn city_presets(quick: bool) -> Vec<(&'static str, Scenario)> {
+    let lc = life_cycle(quick);
+    let dense = Scenario::paper(ProtocolKind::OptGossip, 3000)
+        .with_seed(1)
+        .with_life_cycle(lc);
+    // 10 000 peers at 40 /km² => 250 km² => ~15 811 m side.
+    let side = (10_000.0 / 40.0 * 1.0e6_f64).sqrt();
+    let mut city = Scenario::paper(ProtocolKind::OptGossip, 10_000)
+        .with_seed(1)
+        .with_life_cycle(lc);
+    city.area = Rect::with_size(side, side);
+    for ad in &mut city.ads {
+        ad.issue_pos = Point::new(side / 2.0, side / 2.0);
+    }
+    dense.validate();
+    city.validate();
+    vec![("fig7-opt-3000", dense), ("city-10000", city)]
 }
 
 /// The ext-6 chaos preset: the severe rung of the fault ladder under
@@ -193,14 +224,16 @@ fn extract_preset(json: &str, section: &str, name: &str, field: &str) -> Option<
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut city = false;
     let mut runs = 1usize;
-    let mut out_path = String::from("BENCH_3.json");
+    let mut out_path = String::from("BENCH_4.json");
     let mut check: Option<String> = None;
     let mut reference: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--city" => city = true,
             "--runs" => {
                 runs = it
                     .next()
@@ -216,6 +249,9 @@ fn main() {
 
     let mut presets = fig7_presets(quick);
     presets.push(chaos_preset(quick));
+    if city {
+        presets.extend(city_presets(quick));
+    }
     println!(
         "perfstat: {} presets, {} run(s) each, {} life cycle, single thread\n",
         presets.len(),
@@ -235,27 +271,32 @@ fn main() {
     let ref_block = reference.map(|path| {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read reference {path}: {e}"));
-        let mut lines = vec![String::from("  \"reference\": {")];
+        let mut entries = Vec::new();
         let mut total_ref = 0.0;
         let mut total_cur = 0.0;
-        for (i, m) in measurements.iter().enumerate() {
-            let wall = extract_preset(&text, "presets", m.name, "wall_s")
-                .unwrap_or_else(|| panic!("reference {path} lacks preset {}", m.name));
+        for m in &measurements {
+            // Presets the reference never measured (e.g. the city pair
+            // vs a pre-city baseline) are excluded from the comparison.
+            let Some(wall) = extract_preset(&text, "presets", m.name, "wall_s") else {
+                println!("reference: {path} lacks preset {} - skipped", m.name);
+                continue;
+            };
             let nspe = extract_preset(&text, "presets", m.name, "ns_per_event").unwrap_or(0.0);
             total_ref += wall;
             total_cur += m.wall_s;
-            lines.push(format!(
-                "    \"{}\": {{\"wall_s\": {:.6}, \"ns_per_event\": {:.2}, \"speedup\": {:.3}}}{}",
+            entries.push(format!(
+                "    \"{}\": {{\"wall_s\": {:.6}, \"ns_per_event\": {:.2}, \"speedup\": {:.3}}}",
                 m.name,
                 wall,
                 nspe,
                 wall / m.wall_s,
-                if i + 1 < measurements.len() { "," } else { "" }
             ));
         }
+        let mut lines = vec![String::from("  \"reference\": {")];
+        lines.push(entries.join(",\n"));
         lines.push(String::from("  },"));
-        let speedup = total_ref / total_cur;
-        println!("\nspeedup vs reference: {speedup:.3}x (total wall {total_ref:.3} s -> {total_cur:.3} s)");
+        let speedup = if total_cur > 0.0 { total_ref / total_cur } else { 1.0 };
+        println!("\nspeedup vs reference: {speedup:.3}x (total wall {total_ref:.3} s -> {total_cur:.3} s, shared presets only)");
         lines.push(format!("  \"speedup_vs_reference\": {speedup:.3}"));
         lines.join("\n")
     });

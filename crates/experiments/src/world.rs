@@ -138,6 +138,12 @@ impl World {
         }
 
         let mut medium = Medium::new(scenario.radio.clone());
+        // Cap the stale-grid widening at the fleet's actual top speed:
+        // `scenario.radio.max_speed` is a worst-case bound, while e.g. a
+        // stationary or slow-trace fleet moves far slower. Derived once —
+        // trajectories are immutable — and purely a performance knob (the
+        // medium exact-checks every candidate).
+        medium.set_fleet_speed_bound(fleet.max_speed());
         for zone in &scenario.faults.jam_zones {
             medium.add_jam_zone(*zone);
         }

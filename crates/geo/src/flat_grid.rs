@@ -1,0 +1,427 @@
+//! A flat CSR-layout spatial index for disk queries over dense-id points.
+//!
+//! [`UniformGrid`](crate::UniformGrid) buckets points into a
+//! `HashMap<(i32,i32), Vec<_>>`: every rebuild reallocates buckets, every
+//! cell probe pays SipHash, and every query re-sorts its result.
+//! [`FlatGrid`] stores the same cells in compressed-sparse-row form over a
+//! bounded cell rectangle:
+//!
+//! ```text
+//! cell_start: [0, 2, 2, 5, ...]          one offset per cell, +1 sentinel
+//! ids:        [3, 9,  1, 4, 7, ...]      packed entries, id-sorted per cell
+//! pos:        [p3, p9, p1, p4, p7, ...]  parallel positions
+//! ```
+//!
+//! Rebuilds are a two-pass counting sort (count, scatter) into recycled
+//! buffers, so a warm rebuild allocates nothing; the scatter walks ids in
+//! ascending order and counting sort is stable, so each cell's entries
+//! come out id-sorted and a query merges the ≤9 cells overlapping the
+//! disk with a tiny k-way id merge — no per-call sort. Ids are the dense
+//! indices `0..n` of the position slice, matching the fleet's node ids,
+//! which makes query output bit-for-bit identical to
+//! `UniformGrid::query_disk_into` over the same points (pinned by the
+//! property tests below).
+
+use crate::point::Point;
+
+/// Cells the k-way query merge handles before falling back to the
+/// collect-and-sort path. The radio medium queries a disk of radius
+/// `range + margin < 2 * cell`, which spans at most 3x3 = 9 cells;
+/// 16 leaves slack for other callers.
+const MAX_MERGE_RUNS: usize = 16;
+
+/// A dense CSR grid over points with ids `0..n` (slice index = id).
+#[derive(Debug, Clone, Default)]
+pub struct FlatGrid {
+    cell: f64,
+    /// Cell-coordinate origin of the bounded rectangle.
+    min_cx: i32,
+    min_cy: i32,
+    /// Rectangle extent in cells.
+    ncx: usize,
+    ncy: usize,
+    /// `cell_start[c]..cell_start[c + 1]` is cell `c`'s packed range
+    /// (row-major over the rectangle); length `ncx * ncy + 1`.
+    cell_start: Vec<u32>,
+    /// Packed entry ids, ascending within each cell.
+    ids: Vec<u32>,
+    /// Packed entry positions, parallel to `ids`.
+    pos: Vec<Point>,
+    /// Scatter-pass write heads, recycled across rebuilds.
+    write_heads: Vec<u32>,
+}
+
+impl FlatGrid {
+    /// An empty index; call [`Self::rebuild`] to populate it.
+    pub fn new() -> Self {
+        FlatGrid::default()
+    }
+
+    /// Build an index over `positions` with the given cell side (metres).
+    pub fn build(cell: f64, positions: &[Point]) -> Self {
+        let mut g = FlatGrid::new();
+        g.rebuild(cell, positions);
+        g
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Cell side of the last rebuild (0 before the first).
+    pub fn cell(&self) -> f64 {
+        self.cell
+    }
+
+    #[inline]
+    fn cell_of(cell: f64, p: Point) -> (i32, i32) {
+        ((p.x / cell).floor() as i32, (p.y / cell).floor() as i32)
+    }
+
+    /// Row-major cell index inside the bounded rectangle.
+    #[inline]
+    fn cell_index(&self, cx: i32, cy: i32) -> usize {
+        (cy - self.min_cy) as usize * self.ncx + (cx - self.min_cx) as usize
+    }
+
+    /// Rebuild the index in place from `positions` (id = slice index).
+    ///
+    /// Two passes: count entries per cell into the offset table, prefix-sum
+    /// it, then scatter ids/positions into the packed arrays. All buffers
+    /// retain capacity, so steady-state rebuilds over a stable point cloud
+    /// perform **zero allocations** (asserted by the counting-allocator
+    /// test in `tests/flat_grid_alloc.rs` and the `grid_rebuild_query`
+    /// bench case).
+    pub fn rebuild(&mut self, cell: f64, positions: &[Point]) {
+        assert!(cell > 0.0 && cell.is_finite(), "grid cell must be positive");
+        self.cell = cell;
+        let n = positions.len();
+        if n == 0 {
+            self.min_cx = 0;
+            self.min_cy = 0;
+            self.ncx = 0;
+            self.ncy = 0;
+            self.cell_start.clear();
+            self.ids.clear();
+            self.pos.clear();
+            return;
+        }
+        // Bounding cell rectangle.
+        let (mut min_cx, mut min_cy) = Self::cell_of(cell, positions[0]);
+        let (mut max_cx, mut max_cy) = (min_cx, min_cy);
+        for &p in &positions[1..] {
+            debug_assert!(p.is_finite(), "non-finite point");
+            let (cx, cy) = Self::cell_of(cell, p);
+            min_cx = min_cx.min(cx);
+            max_cx = max_cx.max(cx);
+            min_cy = min_cy.min(cy);
+            max_cy = max_cy.max(cy);
+        }
+        let ncx = (max_cx - min_cx) as usize + 1;
+        let ncy = (max_cy - min_cy) as usize + 1;
+        let ncells = ncx
+            .checked_mul(ncy)
+            .filter(|&c| c <= (1 << 28))
+            .expect("cell rectangle too large; choose a coarser cell");
+        self.min_cx = min_cx;
+        self.min_cy = min_cy;
+        self.ncx = ncx;
+        self.ncy = ncy;
+
+        // Pass 1: per-cell counts in cell_start[1..], then prefix-sum so
+        // cell_start[c] is cell c's packed start offset.
+        self.cell_start.clear();
+        self.cell_start.resize(ncells + 1, 0);
+        for &p in positions {
+            let (cx, cy) = Self::cell_of(cell, p);
+            let c = self.cell_index(cx, cy);
+            self.cell_start[c + 1] += 1;
+        }
+        // Counts live at `c + 1`, so an inclusive scan turns the table
+        // into start offsets: cell_start[c] = sum of counts before c.
+        let mut running = 0u32;
+        for s in self.cell_start.iter_mut() {
+            running += *s;
+            *s = running;
+        }
+
+        // Pass 2: scatter in ascending id order; stability makes each
+        // cell's packed run id-sorted.
+        self.write_heads.clear();
+        self.write_heads
+            .extend_from_slice(&self.cell_start[..ncells]);
+        self.ids.clear();
+        self.ids.resize(n, 0);
+        self.pos.clear();
+        self.pos.resize(n, Point::ORIGIN);
+        for (id, &p) in positions.iter().enumerate() {
+            let (cx, cy) = Self::cell_of(cell, p);
+            let c = self.cell_index(cx, cy);
+            let w = self.write_heads[c] as usize;
+            self.ids[w] = id as u32;
+            self.pos[w] = p;
+            self.write_heads[c] = w as u32 + 1;
+        }
+    }
+
+    /// Collect all `(id, position)` entries within `radius` of `center`
+    /// (inclusive boundary, same `EPS` slack as `UniformGrid`) into
+    /// `out`, cleared first, in ascending id order.
+    pub fn query_disk_into(&self, center: Point, radius: f64, out: &mut Vec<(u32, Point)>) {
+        out.clear();
+        if radius < 0.0 || self.ids.is_empty() {
+            return;
+        }
+        let r_sq = radius * radius;
+        // Clamp the disk's cell range to the bounded rectangle; cells
+        // outside it are empty by construction.
+        let cx0 = (((center.x - radius) / self.cell).floor() as i32).max(self.min_cx);
+        let cx1 = (((center.x + radius) / self.cell).floor() as i32)
+            .min(self.min_cx + self.ncx as i32 - 1);
+        let cy0 = (((center.y - radius) / self.cell).floor() as i32).max(self.min_cy);
+        let cy1 = (((center.y + radius) / self.cell).floor() as i32)
+            .min(self.min_cy + self.ncy as i32 - 1);
+        if cx0 > cx1 || cy0 > cy1 {
+            return;
+        }
+        // Gather the non-empty packed runs overlapping the disk.
+        let mut runs = [(0u32, 0u32); MAX_MERGE_RUNS];
+        let mut nruns = 0usize;
+        for cy in cy0..=cy1 {
+            for cx in cx0..=cx1 {
+                let c = self.cell_index(cx, cy);
+                let (s, e) = (self.cell_start[c], self.cell_start[c + 1]);
+                if s == e {
+                    continue;
+                }
+                if nruns == MAX_MERGE_RUNS {
+                    // Disk spans more cells than the merge window: fall
+                    // back to collect + sort (same output — ids are
+                    // unique, so the id sort is a total order).
+                    return self.query_sorted_fallback(center, r_sq, (cx0, cx1), (cy0, cy1), out);
+                }
+                runs[nruns] = (s, e);
+                nruns += 1;
+            }
+        }
+        // K-way merge by id: each run is id-sorted, runs are disjoint.
+        loop {
+            let mut best: Option<usize> = None;
+            let mut best_id = 0u32;
+            for (k, &(s, e)) in runs[..nruns].iter().enumerate() {
+                if s < e {
+                    let id = self.ids[s as usize];
+                    if best.is_none() || id < best_id {
+                        best_id = id;
+                        best = Some(k);
+                    }
+                }
+            }
+            let Some(k) = best else { break };
+            let at = runs[k].0 as usize;
+            runs[k].0 += 1;
+            let p = self.pos[at];
+            if center.distance_sq(p) <= r_sq + crate::EPS {
+                out.push((self.ids[at], p));
+            }
+        }
+    }
+
+    /// Rare-path query for disks spanning more than [`MAX_MERGE_RUNS`]
+    /// occupied cells: push every in-disk entry, then sort by id.
+    fn query_sorted_fallback(
+        &self,
+        center: Point,
+        r_sq: f64,
+        (cx0, cx1): (i32, i32),
+        (cy0, cy1): (i32, i32),
+        out: &mut Vec<(u32, Point)>,
+    ) {
+        out.clear();
+        for cy in cy0..=cy1 {
+            for cx in cx0..=cx1 {
+                let c = self.cell_index(cx, cy);
+                let (s, e) = (self.cell_start[c] as usize, self.cell_start[c + 1] as usize);
+                for i in s..e {
+                    let p = self.pos[i];
+                    if center.distance_sq(p) <= r_sq + crate::EPS {
+                        out.push((self.ids[i], p));
+                    }
+                }
+            }
+        }
+        out.sort_unstable_by_key(|&(id, _)| id);
+    }
+
+    /// Convenience wrapper around [`Self::query_disk_into`].
+    pub fn query_disk(&self, center: Point, radius: f64) -> Vec<(u32, Point)> {
+        let mut out = Vec::new();
+        self.query_disk_into(center, radius, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_grid_returns_nothing() {
+        let g = FlatGrid::build(10.0, &[]);
+        assert!(g.is_empty());
+        assert_eq!(g.len(), 0);
+        assert!(g.query_disk(Point::new(0.0, 0.0), 100.0).is_empty());
+    }
+
+    #[test]
+    fn finds_points_in_radius() {
+        let g = FlatGrid::build(
+            10.0,
+            &[
+                Point::new(0.0, 0.0),
+                Point::new(5.0, 0.0),
+                Point::new(30.0, 0.0),
+                Point::new(0.0, 9.0),
+            ],
+        );
+        assert_eq!(g.len(), 4);
+        let hits: Vec<u32> = g
+            .query_disk(Point::new(0.0, 0.0), 10.0)
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(hits, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        let g = FlatGrid::build(5.0, &[Point::new(10.0, 0.0)]);
+        let hits = g.query_disk(Point::new(0.0, 0.0), 10.0);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0], (0, Point::new(10.0, 0.0)));
+    }
+
+    #[test]
+    fn negative_coordinates_work() {
+        let g = FlatGrid::build(7.0, &[Point::new(-3.0, -4.0), Point::new(-100.0, -100.0)]);
+        let hits = g.query_disk(Point::ORIGIN, 5.0);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 0);
+    }
+
+    #[test]
+    fn results_are_sorted_by_id_across_cells() {
+        // Points deliberately laid out so cell visit order disagrees with
+        // id order: high ids in low cells and vice versa.
+        let pts: Vec<Point> = (0..50)
+            .map(|i| Point::new(((49 - i) as f64) * 9.7, ((i * 7) % 23) as f64 * 9.7))
+            .collect();
+        let g = FlatGrid::build(25.0, &pts);
+        let hits = g.query_disk(Point::new(240.0, 110.0), 400.0);
+        let ids: Vec<u32> = hits.iter().map(|&(id, _)| id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+        assert_eq!(ids.len(), 50);
+    }
+
+    #[test]
+    fn negative_radius_yields_nothing() {
+        let g = FlatGrid::build(10.0, &[Point::ORIGIN]);
+        assert!(g.query_disk(Point::ORIGIN, -1.0).is_empty());
+    }
+
+    #[test]
+    fn rebuild_replaces_contents_in_place() {
+        let mut g = FlatGrid::build(10.0, &[Point::ORIGIN, Point::new(5.0, 5.0)]);
+        assert_eq!(g.len(), 2);
+        g.rebuild(10.0, &[Point::new(100.0, 100.0)]);
+        assert_eq!(g.len(), 1);
+        assert!(g.query_disk(Point::ORIGIN, 10.0).is_empty());
+        assert_eq!(g.query_disk(Point::new(100.0, 100.0), 1.0).len(), 1);
+    }
+
+    #[test]
+    fn query_wider_than_merge_window_falls_back_to_sort() {
+        // 1.0 m cells over a 100 m spread: a big disk overlaps hundreds of
+        // cells, forcing the sort fallback; output must stay id-sorted and
+        // complete.
+        let pts: Vec<Point> = (0..100)
+            .map(|i| Point::new((i % 10) as f64 * 10.0, (i / 10) as f64 * 10.0))
+            .collect();
+        let g = FlatGrid::build(1.0, &pts);
+        let hits = g.query_disk(Point::new(45.0, 45.0), 200.0);
+        assert_eq!(hits.len(), 100);
+        let ids: Vec<u32> = hits.iter().map(|&(id, _)| id).collect();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "grid cell must be positive")]
+    fn zero_cell_rejected() {
+        let _ = FlatGrid::build(0.0, &[Point::ORIGIN]);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::grid::UniformGrid;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// FlatGrid agrees bitwise with both `UniformGrid` and the
+        /// brute-force linear scan (same generator ranges as
+        /// `grid.rs::prop_tests`).
+        #[test]
+        fn matches_uniform_grid_and_brute_force(
+            pts in proptest::collection::vec((-500.0..500.0f64, -500.0..500.0f64), 0..200),
+            qx in -500.0..500.0f64,
+            qy in -500.0..500.0f64,
+            r in 0.0..400.0f64,
+            cell in 1.0..300.0f64,
+        ) {
+            let positions: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let flat = FlatGrid::build(cell, &positions);
+            let hash = UniformGrid::build(
+                cell,
+                positions.iter().enumerate().map(|(i, &p)| (i as u32, p)),
+            );
+            let center = Point::new(qx, qy);
+            let got = flat.query_disk(center, r);
+            let via_hash = hash.query_disk(center, r);
+            prop_assert_eq!(&got, &via_hash);
+            let want: Vec<(u32, Point)> = positions
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| center.distance_sq(**p) <= r * r + crate::EPS)
+                .map(|(i, &p)| (i as u32, p))
+                .collect();
+            prop_assert_eq!(got, want);
+        }
+
+        /// Rebuilding over fresh positions matches a from-scratch build.
+        #[test]
+        fn rebuild_equals_fresh_build(
+            a in proptest::collection::vec((-500.0..500.0f64, -500.0..500.0f64), 0..120),
+            b in proptest::collection::vec((-500.0..500.0f64, -500.0..500.0f64), 0..120),
+            r in 0.0..300.0f64,
+            cell in 1.0..300.0f64,
+        ) {
+            let pa: Vec<Point> = a.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let pb: Vec<Point> = b.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let mut recycled = FlatGrid::build(cell, &pa);
+            recycled.rebuild(cell, &pb);
+            let fresh = FlatGrid::build(cell, &pb);
+            prop_assert_eq!(
+                recycled.query_disk(Point::new(0.0, 0.0), r),
+                fresh.query_disk(Point::new(0.0, 0.0), r)
+            );
+        }
+    }
+}

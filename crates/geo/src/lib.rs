@@ -12,11 +12,14 @@
 //!   two-circle *lens* overlap area needed by the paper's Optimized
 //!   Gossiping-2 postponement rule (formula 4).
 //! * [`Rect`] — the rectangular simulation field.
-//! * [`UniformGrid`] — a spatial hash over points for fast disk queries
-//!   (the neighbour lookup behind every wireless broadcast).
+//! * [`UniformGrid`] — a spatial hash over points for fast disk queries.
+//! * [`FlatGrid`] — a flat CSR-layout spatial index over dense-id points
+//!   with in-place (allocation-free) rebuilds and sort-free id-ordered
+//!   queries; the neighbour lookup behind every wireless broadcast.
 
 pub mod angle;
 pub mod circle;
+pub mod flat_grid;
 pub mod grid;
 pub mod point;
 pub mod rect;
@@ -24,6 +27,7 @@ pub mod segment;
 
 pub use angle::{angle_between, normalize_angle};
 pub use circle::Circle;
+pub use flat_grid::FlatGrid;
 pub use grid::UniformGrid;
 pub use point::{Point, Vector};
 pub use rect::Rect;

@@ -1,0 +1,85 @@
+//! Allocation regression test for [`FlatGrid`]: once warm, repeated
+//! rebuild/query cycles on the same index must allocate nothing. This is
+//! the property the radio medium's steady state depends on (grid rebuilds
+//! used to be the one remaining allocation in the broadcast hot path).
+//!
+//! Lives in its own integration-test binary so the counting global
+//! allocator sees no concurrent allocations from unrelated tests.
+
+use ia_geo::{FlatGrid, Point};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// A deterministic point cloud at `phase`, bounded so the cell rectangle
+/// (and hence the offset-table size) stays constant across phases.
+fn cloud(n: usize, phase: u64, out: &mut Vec<Point>) {
+    out.clear();
+    let mut x = 0x9E3779B97F4A7C15u64 ^ phase.wrapping_mul(0xD1B54A32D192ED03);
+    for _ in 0..n {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let px = (x % 5_000) as f64;
+        let py = ((x >> 20) % 5_000) as f64;
+        out.push(Point::new(px, py));
+    }
+}
+
+#[test]
+fn warm_rebuild_and_query_cycles_allocate_nothing() {
+    let mut grid = FlatGrid::new();
+    let mut positions = Vec::new();
+    // A query returns at most n entries; cap the buffer up front so the
+    // assertion tests the grid, not Vec growth heuristics.
+    let mut out = Vec::with_capacity(1000);
+
+    // Warm-up: size every recycled buffer (offset table, packed arrays,
+    // write heads, the query output) over a few phases.
+    for phase in 0..4 {
+        cloud(1000, phase, &mut positions);
+        grid.rebuild(250.0, &positions);
+        for q in 0..16 {
+            let c = Point::new((q * 311 % 5000) as f64, (q * 733 % 5000) as f64);
+            grid.query_disk_into(c, 250.0, &mut out);
+        }
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for phase in 4..36 {
+        cloud(1000, phase, &mut positions);
+        grid.rebuild(250.0, &positions);
+        for q in 0..16 {
+            let c = Point::new((q * 311 % 5000) as f64, (q * 733 % 5000) as f64);
+            grid.query_disk_into(c, 250.0, &mut out);
+            assert!(out.len() <= 1000);
+        }
+    }
+    let allocated = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocated, 0,
+        "warm FlatGrid rebuild/query cycles allocated {allocated} times over 32 phases"
+    );
+}

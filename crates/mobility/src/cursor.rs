@@ -70,6 +70,24 @@ impl FleetCursor {
         tr.legs()[i].velocity()
     }
 
+    /// Batch position snapshot: every node's exact position at `t`
+    /// written into `out` (cleared first; index = node id). Bitwise
+    /// equal to calling [`Self::position`] per node — this is the feeder
+    /// for the radio medium's shared position snapshot, sampled once per
+    /// grid refresh instead of once per candidate.
+    pub fn positions_into(&mut self, fleet: &Fleet, t: SimTime, out: &mut Vec<Point>) {
+        let n = fleet.len();
+        self.ensure(n);
+        out.clear();
+        out.reserve(n);
+        for node in 0..n as u32 {
+            let tr = fleet.trajectory(node);
+            let i = tr.leg_index_hinted(t, self.hints[node as usize] as usize);
+            self.hints[node as usize] = i as u32;
+            out.push(tr.legs()[i].position_at(t));
+        }
+    }
+
     /// Two-fix velocity estimate (equals [`Fleet::estimated_velocity`]).
     pub fn estimated_velocity(
         &mut self,
@@ -129,6 +147,24 @@ mod tests {
             let t = SimTime::from_secs(s);
             for node in 0..4 {
                 assert_eq!(c.position(&f, node, t), f.position(node, t), "t={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_snapshot_bitwise_equals_per_node_lookups() {
+        let f = fleet(6, 17);
+        let mut batch = FleetCursor::new();
+        let mut single = FleetCursor::new();
+        let mut out = Vec::new();
+        for step in 0..120 {
+            let t = SimTime::from_secs(step as f64 * 2.5);
+            batch.positions_into(&f, t, &mut out);
+            assert_eq!(out.len(), 6);
+            for node in 0..6u32 {
+                let p = single.position(&f, node, t);
+                assert_eq!(out[node as usize].x.to_bits(), p.x.to_bits());
+                assert_eq!(out[node as usize].y.to_bits(), p.y.to_bits());
             }
         }
     }

@@ -11,9 +11,11 @@
 //! micro-behaviour. Loss models (i.i.d. and distance-dependent) are
 //! provided for robustness experiments.
 //!
-//! Performance: neighbour lookup uses a spatial hash grid that is rebuilt
-//! lazily at a bounded staleness and then *exact-checked* against true
-//! positions, so results are exact while broadcasts stay `O(neighbours)`.
+//! Performance: neighbour lookup uses a flat CSR spatial index
+//! (`ia_geo::FlatGrid`) rebuilt in place at a bounded staleness from a
+//! shared position snapshot and then *exact-checked* against true
+//! positions, so results are exact while broadcasts stay `O(neighbours)`
+//! and the steady state — grid rebuilds included — allocates nothing.
 
 pub mod config;
 pub mod contention;

@@ -6,7 +6,7 @@ use crate::frame::{BroadcastOutcome, Delivery, DropReason, FrameDrop};
 use crate::loss::GilbertElliott;
 use crate::stats::TrafficStats;
 use ia_des::{SimRng, SimTime};
-use ia_geo::{Point, UniformGrid};
+use ia_geo::{FlatGrid, Point};
 use ia_mobility::{Fleet, FleetCursor};
 
 /// A circular dead region: receivers inside an active zone hear nothing
@@ -81,12 +81,26 @@ impl JamZone {
 pub struct Medium {
     config: RadioConfig,
     stats: TrafficStats,
-    grid: Option<(SimTime, UniformGrid)>,
+    /// Flat CSR spatial index over the snapshot, rebuilt in place (no
+    /// steady-state allocations) at a bounded staleness.
+    grid: FlatGrid,
+    /// When the current grid/snapshot pair was sampled; `None` before the
+    /// first broadcast.
+    grid_built_at: Option<SimTime>,
+    /// Shared position snapshot at `grid_built_at` (index = node id):
+    /// the grid is built from it, and exact-position filtering reuses it
+    /// whenever the query time equals the snapshot time.
+    snapshot: Vec<Point>,
     scratch: Vec<(u32, ia_geo::Point)>,
     /// Leg-cursor cache for position lookups. Every query the medium
     /// issues is at the current (monotone) simulation time, so lookups
     /// are O(1) amortized.
     cursor: FleetCursor,
+    /// Actual top speed of the fleet being simulated, if the caller
+    /// derived one (see [`Medium::set_fleet_speed_bound`]). Stale-grid
+    /// queries widen by `min(config.max_speed, this)` — a stationary or
+    /// slow trace then stops scanning cells of false candidates.
+    fleet_speed_bound: Option<f64>,
     tx_log: TxLog,
     /// Active jamming zones (fault injection).
     jam_zones: Vec<JamZone>,
@@ -101,9 +115,12 @@ impl Medium {
         Medium {
             config,
             stats: TrafficStats::new(),
-            grid: None,
+            grid: FlatGrid::new(),
+            grid_built_at: None,
+            snapshot: Vec::new(),
             scratch: Vec::new(),
             cursor: FleetCursor::new(),
+            fleet_speed_bound: None,
             tx_log: TxLog::new(),
             jam_zones: Vec::new(),
             burst: None,
@@ -132,24 +149,61 @@ impl Medium {
         self.burst = Some((from, until, channel));
     }
 
+    /// Cap the stale-grid widening speed at the fleet's actual top speed
+    /// (e.g. `Fleet::max_speed`). `config.max_speed` is a worst-case
+    /// scenario bound; when the fleet provably moves slower — stationary
+    /// or ns-2 trace fleets especially — the effective bound
+    /// `min(config, fleet)` keeps stale queries from scanning cells of
+    /// false candidates. Purely a performance knob: candidates are still
+    /// exact-checked, so results do not depend on it as long as the bound
+    /// really covers the fleet.
+    pub fn set_fleet_speed_bound(&mut self, max_speed: f64) {
+        assert!(
+            max_speed >= 0.0 && max_speed.is_finite(),
+            "invalid fleet speed bound"
+        );
+        self.fleet_speed_bound = Some(max_speed);
+    }
+
+    /// The speed used to widen stale-grid queries.
+    #[inline]
+    fn widening_speed(&self) -> f64 {
+        match self.fleet_speed_bound {
+            Some(v) => v.min(self.config.max_speed),
+            None => self.config.max_speed,
+        }
+    }
+
+    /// The current position snapshot and its sample time, if a grid has
+    /// been built. Positions are exact at the returned instant; index is
+    /// the node id.
+    pub fn position_snapshot(&self) -> Option<(SimTime, &[Point])> {
+        self.grid_built_at.map(|t| (t, self.snapshot.as_slice()))
+    }
+
+    /// Drop the grid/snapshot pair so the next query rebuilds it — a
+    /// hook for benchmarks that need to exercise the rebuild path on
+    /// every broadcast (the buffers keep their capacity).
+    pub fn invalidate_grid(&mut self) {
+        self.grid_built_at = None;
+    }
+
     /// Ensure the neighbour grid snapshot is no staler than
-    /// `config.grid_refresh` relative to `now`.
+    /// `config.grid_refresh` relative to `now`. The snapshot is sampled
+    /// in one cursor pass and the CSR grid is rebuilt in place over it —
+    /// a warm rebuild allocates nothing.
     fn refresh_grid(&mut self, fleet: &Fleet, now: SimTime) -> SimTime {
-        let needs_rebuild = match &self.grid {
-            Some((built_at, _)) => now.since(*built_at) > self.config.grid_refresh,
+        let needs_rebuild = match self.grid_built_at {
+            Some(built_at) => now.since(built_at) > self.config.grid_refresh,
             None => true,
         };
         if needs_rebuild {
-            let cursor = &mut self.cursor;
-            let grid = UniformGrid::build(
-                self.config.range.max(1.0),
-                fleet
-                    .iter()
-                    .map(|(id, _)| (id, cursor.position(fleet, id, now))),
-            );
-            self.grid = Some((now, grid));
+            self.cursor.positions_into(fleet, now, &mut self.snapshot);
+            self.grid
+                .rebuild(self.config.range.max(1.0), &self.snapshot);
+            self.grid_built_at = Some(now);
         }
-        self.grid.as_ref().unwrap().0
+        self.grid_built_at.unwrap()
     }
 
     /// Broadcast a frame of `bytes` bytes from `src` at time `now`.
@@ -179,8 +233,9 @@ impl Medium {
 
     /// [`Self::broadcast`] writing into a caller-recycled outcome buffer
     /// (cleared on entry, capacity retained). This is the zero-alloc
-    /// steady-state primitive: aside from periodic grid rebuilds, repeat
-    /// broadcasts allocate nothing once the buffers have warmed up.
+    /// steady-state primitive: repeat broadcasts — including the periodic
+    /// in-place grid rebuilds — allocate nothing once the buffers have
+    /// warmed up (proven by the counting-allocator bench).
     pub fn broadcast_into(
         &mut self,
         fleet: &Fleet,
@@ -192,23 +247,35 @@ impl Medium {
     ) {
         out.clear();
         let built_at = self.refresh_grid(fleet, now);
+        let fresh = built_at == now;
         let staleness = now.since(built_at).as_secs();
         // Both the sender and the candidates may have moved since the
         // snapshot, so widen by twice the covered distance.
-        let margin = 2.0 * self.config.max_speed * staleness;
-        let sender_pos = self.cursor.position(fleet, src, now);
-        let (_, grid) = self.grid.as_ref().unwrap();
+        let margin = 2.0 * self.widening_speed() * staleness;
+        // When the snapshot was sampled at `now`, snapshot positions ARE
+        // the exact positions (bitwise: same cursor evaluation), so the
+        // per-candidate cursor re-query collapses to an array read.
+        let sender_pos = if fresh {
+            self.snapshot[src as usize]
+        } else {
+            self.cursor.position(fleet, src, now)
+        };
         let mut scratch = std::mem::take(&mut self.scratch);
-        grid.query_disk_into(sender_pos, self.config.range + margin, &mut scratch);
+        self.grid
+            .query_disk_into(sender_pos, self.config.range + margin, &mut scratch);
 
         let frame_airtime = airtime(bytes, self.config.bitrate_bps);
         let burst_active =
             matches!(&self.burst, Some((from, until, _)) if now >= *from && now < *until);
-        for &(id, _snap_pos) in scratch.iter() {
+        for &(id, snap_pos) in scratch.iter() {
             if id == src {
                 continue;
             }
-            let true_pos = self.cursor.position(fleet, id, now);
+            let true_pos = if fresh {
+                snap_pos
+            } else {
+                self.cursor.position(fleet, id, now)
+            };
             let distance = sender_pos.distance(true_pos);
             if distance > self.config.range {
                 continue;
@@ -282,15 +349,24 @@ impl Medium {
     pub fn neighbors_into(&mut self, fleet: &Fleet, now: SimTime, node: u32, out: &mut Vec<u32>) {
         out.clear();
         let built_at = self.refresh_grid(fleet, now);
+        let fresh = built_at == now;
         let staleness = now.since(built_at).as_secs();
-        let margin = 2.0 * self.config.max_speed * staleness;
-        let pos = self.cursor.position(fleet, node, now);
-        let (_, grid) = self.grid.as_ref().unwrap();
+        let margin = 2.0 * self.widening_speed() * staleness;
+        let pos = if fresh {
+            self.snapshot[node as usize]
+        } else {
+            self.cursor.position(fleet, node, now)
+        };
         let mut scratch = std::mem::take(&mut self.scratch);
-        grid.query_disk_into(pos, self.config.range + margin, &mut scratch);
-        for &(id, _) in scratch.iter() {
-            if id != node && self.cursor.position(fleet, id, now).distance(pos) <= self.config.range
-            {
+        self.grid
+            .query_disk_into(pos, self.config.range + margin, &mut scratch);
+        for &(id, snap_pos) in scratch.iter() {
+            let true_pos = if fresh {
+                snap_pos
+            } else {
+                self.cursor.position(fleet, id, now)
+            };
+            if id != node && true_pos.distance(pos) <= self.config.range {
                 out.push(id);
             }
         }
@@ -535,6 +611,123 @@ mod tests {
                 .deliveries
                 .len(),
             1
+        );
+    }
+
+    #[test]
+    fn fleet_speed_bound_preserves_results_exactly() {
+        // A slow fleet (5 m/s) under a config bound of 40 m/s: capping the
+        // widening speed at the fleet's true maximum must not change a
+        // single delivery, across fresh and stale grids.
+        let end = SimTime::from_secs(100.0);
+        let mk_fleet = || {
+            let legs = |x0: f64, v: f64| {
+                Trajectory::new(vec![ia_mobility::Leg::new(
+                    SimTime::ZERO,
+                    end,
+                    Point::new(x0, 0.0),
+                    Point::new(x0 + v * 100.0, 0.0),
+                )])
+            };
+            Fleet::from_trajectories(vec![
+                Trajectory::stationary(Point::ORIGIN, SimTime::ZERO, end),
+                legs(252.0, -5.0), // drifts into range during grid staleness
+                legs(245.0, 5.0),  // drifts out of range
+                legs(100.0, 3.0),
+            ])
+        };
+        let fleet = mk_fleet();
+        let cfg = RadioConfig::paper().with_max_speed(40.0);
+        let run = |bounded: bool| {
+            let mut medium = Medium::new(cfg.clone());
+            if bounded {
+                medium.set_fleet_speed_bound(fleet.max_speed());
+            }
+            let mut rng = SimRng::from_master(11);
+            let mut log = Vec::new();
+            for step in 0..40 {
+                let t = SimTime::from_secs(step as f64 * 0.23);
+                let out = medium.broadcast(&fleet, t, 0, 50, &mut rng);
+                log.push(out.deliveries.iter().map(|d| d.to).collect::<Vec<_>>());
+            }
+            (log, medium.stats().clone())
+        };
+        assert!(fleet.max_speed() <= 5.0 + 1e-9);
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn stale_grid_with_fleet_bound_still_finds_incoming_nodes() {
+        // Same shape as `stale_grid_finds_nodes_that_moved_into_range`,
+        // but the widening comes from the fleet bound (5 m/s), not the
+        // generous config bound: a node 8 m out of range closing at
+        // 5 m/s must be caught by the widened stale query.
+        let end = SimTime::from_secs(100.0);
+        let moving = Trajectory::new(vec![ia_mobility::Leg::new(
+            SimTime::ZERO,
+            end,
+            Point::new(258.0, 0.0),
+            Point::new(258.0 - 5.0 * 100.0, 0.0),
+        )]);
+        let fleet = Fleet::from_trajectories(vec![
+            Trajectory::stationary(Point::ORIGIN, SimTime::ZERO, end),
+            moving,
+        ]);
+        let cfg = RadioConfig::paper().with_max_speed(40.0);
+        let mut medium = Medium::new(cfg);
+        medium.set_fleet_speed_bound(fleet.max_speed());
+        let mut rng = SimRng::from_master(12);
+        // Grid built at t=0 (node 1 at 258 m, out of range).
+        assert_eq!(
+            medium
+                .broadcast(&fleet, SimTime::ZERO, 0, 10, &mut rng)
+                .deliveries
+                .len(),
+            0
+        );
+        // t=0.9 s: node 1 at 253.5 m — still out; t=1.0 s (grid still the
+        // t=0 one, staleness at the refresh boundary): 253 m — out; after
+        // the rebuild at t=1.6 s it is at 250 m — in range.
+        assert_eq!(
+            medium
+                .broadcast(&fleet, SimTime::from_secs(0.9), 0, 10, &mut rng)
+                .deliveries
+                .len(),
+            0
+        );
+        assert_eq!(
+            medium
+                .broadcast(&fleet, SimTime::from_secs(1.6), 0, 10, &mut rng)
+                .deliveries
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn position_snapshot_tracks_grid_refresh() {
+        let fleet = static_fleet(&[(0.0, 0.0), (100.0, 0.0)]);
+        let mut medium = Medium::new(RadioConfig::paper());
+        assert!(medium.position_snapshot().is_none());
+        let mut rng = SimRng::from_master(13);
+        medium.broadcast(&fleet, SimTime::from_secs(2.0), 0, 10, &mut rng);
+        let (at, snap) = medium.position_snapshot().expect("grid built");
+        assert_eq!(at, SimTime::from_secs(2.0));
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[1], Point::new(100.0, 0.0));
+        // Within the refresh window the snapshot is reused ...
+        medium.broadcast(&fleet, SimTime::from_secs(2.5), 0, 10, &mut rng);
+        assert_eq!(
+            medium.position_snapshot().unwrap().0,
+            SimTime::from_secs(2.0)
+        );
+        // ... and invalidation forces a resample at the next broadcast.
+        medium.invalidate_grid();
+        assert!(medium.position_snapshot().is_none());
+        medium.broadcast(&fleet, SimTime::from_secs(2.6), 0, 10, &mut rng);
+        assert_eq!(
+            medium.position_snapshot().unwrap().0,
+            SimTime::from_secs(2.6)
         );
     }
 
