@@ -4,15 +4,20 @@ use crate::time::SimTime;
 
 /// A handle to a scheduled event, usable to cancel it before it fires.
 ///
-/// A handle is the event's full heap key: its scheduled time plus the
+/// A handle is the event's full queue key — its scheduled time plus the
 /// queue's monotonically increasing sequence number (which doubles as
-/// the FIFO tie-breaker for simultaneous events). Carrying the time lets
-/// the queue validate cancellations against its pop watermark instead of
-/// tracking every live id in a hash set.
+/// the FIFO tie-breaker for simultaneous events) — and, invisibly, the
+/// slab-arena slot holding the payload. Cancellation is an O(1) lookup
+/// of that slot; the occupant's `seq`, unique for the queue's lifetime,
+/// acts as a generation tag so stale handles (fired, cancelled, cleared,
+/// or aimed at a recycled slot) are all rejected by the same check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId {
     pub(crate) time: SimTime,
     pub(crate) seq: u64,
+    /// Slab slot the payload was stored in (see `crate::arena`). Ordering
+    /// and equality are effectively `(time, seq)` — `seq` alone is unique.
+    pub(crate) slot: u32,
 }
 
 impl EventId {
@@ -35,6 +40,7 @@ mod tests {
         EventId {
             time: SimTime::from_secs(secs),
             seq,
+            slot: 0,
         }
     }
 

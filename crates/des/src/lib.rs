@@ -5,7 +5,10 @@
 //! * [`SimTime`] / [`SimDuration`] — an integer microsecond clock, so that
 //!   event ordering is exact and runs are bit-for-bit reproducible.
 //! * [`EventQueue`] — a stable priority queue: events at equal timestamps
-//!   fire in scheduling order, and scheduled events can be cancelled.
+//!   fire in scheduling order, and scheduled events can be cancelled in
+//!   O(1). Internally a hierarchical timing wheel over a recycled slab
+//!   arena (see the `wheel` and `arena` modules), so the hot
+//!   push/pop/cancel path is allocation-free at steady state.
 //! * [`Scheduler`] — the simulation clock plus the queue; the world object
 //!   drains it in a simple `while let Some(...)` loop, keeping borrows
 //!   trivial and the engine free of callbacks.
@@ -13,13 +16,15 @@
 //!   independent stream from a master seed, so adding randomness to one
 //!   component never perturbs another.
 
+mod arena;
 pub mod event;
 pub mod queue;
 pub mod rng;
 pub mod time;
+mod wheel;
 
 pub use event::EventId;
-pub use queue::EventQueue;
+pub use queue::{EventQueue, QueueStats};
 pub use rng::{derive_seed, SimRng};
 pub use time::{SimDuration, SimTime};
 
@@ -88,9 +93,14 @@ impl<E> Scheduler<E> {
         self.processed
     }
 
-    /// Number of events still pending (including cancelled tombstones).
+    /// Number of live (non-cancelled) events still pending.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Lifetime queue operation counters (pushes/pops/cancels/cascades).
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
     }
 
     /// Schedule `event` at the absolute time `t`.

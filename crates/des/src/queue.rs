@@ -1,66 +1,60 @@
 //! The pending-event set: a stable, cancellable priority queue.
 //!
-//! Built on `BinaryHeap` with a `(time, seq)` key so that events with
-//! equal timestamps pop in insertion order (NS-2 calendar queues make the
-//! same guarantee, and several protocol behaviours — e.g. "receive before
-//! your own round timer at the same instant" — depend on a stable order).
+//! Since PR 5 the queue is a hierarchical timing wheel
+//! ([`crate::wheel`]) over a recycled slab arena ([`crate::arena`]),
+//! replacing the earlier `BinaryHeap` + tombstone-`HashSet` design whose
+//! `O(log n)` pushes/pops became the city-scale bottleneck. The wheel
+//! moves only compact `(time, seq, slot)` keys; payloads stay put in the
+//! slab from schedule to fire, and at steady state every slot is
+//! recycled, so push/pop/cancel allocate nothing (pinned by the
+//! counting-allocator benches in `crates/bench`).
 //!
-//! Cancellation uses tombstones: `cancel` records the id in the
-//! `cancelled` set, and `pop` skips tombstoned entries lazily. Both
-//! operations stay `O(log n)` amortised without an indexed heap.
+//! The contract is unchanged from the heap:
+//! * pops come out in `(time, seq)` order — events at equal timestamps
+//!   fire in insertion order (NS-2 calendar queues make the same
+//!   guarantee, and several protocol behaviours — e.g. "receive before
+//!   your own round timer at the same instant" — depend on a stable
+//!   order). The equivalence is pinned by a wheel-vs-heap proptest in
+//!   `crates/des/tests/wheel_vs_heap.rs`.
+//! * `cancel` returns `true` exactly once per pending event. It is now
+//!   a true O(1) operation: the [`EventId`] carries the slab slot, and
+//!   the occupant's forever-unique `seq` doubles as a generation tag, so
+//!   fired/cancelled/cleared handles all fail the same liveness check —
+//!   no tombstone set, no watermark bookkeeping.
 //!
-//! Liveness is a plain counter, not a set: the hot push/pop path touches
-//! no hash table. Cancel validation ("has this event already fired?")
-//! works off a *watermark* instead — entries leave the heap in strictly
-//! increasing `(time, seq)` key order, so an [`EventId`] (which carries
-//! its full key) is in the past exactly when its key is at or below the
-//! last key taken off the heap. The one unsupported pattern is pushing an
-//! event at a time at or below the watermark (scheduling into the past):
-//! such an entry still pops, but `cancel` would misreport it as fired —
-//! the [`crate::Scheduler`] layer rejects past scheduling outright.
+//! Scheduling at or below the last popped time is best-effort (such
+//! events still pop, first), but the [`crate::Scheduler`] layer rejects
+//! past scheduling outright.
 
+use crate::arena::EventArena;
 use crate::event::EventId;
 use crate::time::SimTime;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use crate::wheel::TimingWheel;
 
-struct Entry<E> {
-    key: Reverse<(SimTime, u64)>,
-    event: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.key.cmp(&other.key)
-    }
+/// Operation counters, cheap enough to maintain unconditionally.
+/// Consumed by the `perfstat` harness for per-phase breakdowns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events pushed over the queue's lifetime.
+    pub pushes: u64,
+    /// Live events delivered by `pop`.
+    pub pops: u64,
+    /// Successful cancellations.
+    pub cancels: u64,
+    /// Timing-wheel cascade moves (node re-placements on level descent).
+    pub cascades: u64,
 }
 
 /// A time-ordered, FIFO-stable, cancellable event queue.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    wheel: TimingWheel,
+    arena: EventArena<E>,
     /// Count of pending (non-cancelled) events.
     live: usize,
-    /// Ids cancelled but whose heap entry has not been skipped yet.
-    cancelled: HashSet<u64>,
     next_seq: u64,
-    /// Key of the last entry taken off the heap (fired or tombstone).
-    /// Keys leave the heap in strictly increasing order, so anything at
-    /// or below the watermark is in the past.
-    watermark: Option<(SimTime, u64)>,
-    /// Sequence floor set by [`Self::clear`]: lower ids were discarded
-    /// wholesale and are neither pending nor cancellable.
-    floor_seq: u64,
+    pushes: u64,
+    pops: u64,
+    cancels: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -72,12 +66,13 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            wheel: TimingWheel::new(),
+            arena: EventArena::new(),
             live: 0,
-            cancelled: HashSet::new(),
             next_seq: 0,
-            watermark: None,
-            floor_seq: 0,
+            pushes: 0,
+            pops: 0,
+            cancels: 0,
         }
     }
 
@@ -90,71 +85,62 @@ impl<E> EventQueue<E> {
         self.live == 0
     }
 
+    /// Lifetime operation counters.
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            pushes: self.pushes,
+            pops: self.pops,
+            cancels: self.cancels,
+            cascades: self.wheel.cascades(),
+        }
+    }
+
     /// Enqueue `event` at time `t` and return a cancellable handle.
     pub fn push(&mut self, t: SimTime, event: E) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.live += 1;
-        self.heap.push(Entry {
-            key: Reverse((t, seq)),
-            event,
-        });
-        EventId { time: t, seq }
+        self.pushes += 1;
+        let slot = self.arena.insert(t, seq, event);
+        self.wheel.schedule(&mut self.arena, t, seq, slot);
+        EventId { time: t, seq, slot }
     }
 
     /// Cancel a pending event. Returns `false` if the event already fired
-    /// or was already cancelled.
+    /// or was already cancelled. O(1): the payload is dropped in place and
+    /// the slab slot reclaimed when the wheel next walks its chain.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        let fired = self.watermark.is_some_and(|w| (id.time, id.seq) <= w);
-        if id.seq >= self.next_seq
-            || id.seq < self.floor_seq
-            || fired
-            || self.cancelled.contains(&id.seq)
-        {
-            return false;
+        if self.arena.invalidate(id.slot, id.seq) {
+            self.live -= 1;
+            self.cancels += 1;
+            true
+        } else {
+            false
         }
-        self.cancelled.insert(id.seq);
-        self.live -= 1;
-        true
     }
 
     /// Pop the earliest live event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(entry) = self.heap.pop() {
-            let Reverse((t, seq)) = entry.key;
-            // Tombstones advance the watermark too: their keys are past
-            // once skipped, so a re-cancel of the same handle stays false
-            // even after the id leaves the `cancelled` set.
-            self.watermark = Some((t, seq));
-            if self.cancelled.remove(&seq) {
-                continue;
-            }
-            self.live -= 1;
-            return Some((t, entry.event));
-        }
-        None
+        let (t, _seq, event) = self.wheel.pop(&mut self.arena)?;
+        self.live -= 1;
+        self.pops += 1;
+        Some((t, event))
     }
 
     /// Timestamp of the earliest live event, or `None` when empty.
     pub fn peek_time(&self) -> Option<SimTime> {
-        // `BinaryHeap` cannot skip-peek, so scan for the minimum among
-        // live entries (everything in the heap that is not a tombstone).
-        // This is O(n) in the presence of cancellations but is only used
-        // for diagnostics, never in the hot pop loop.
-        self.heap
-            .iter()
-            .filter(|e| !self.cancelled.contains(&e.key.0 .1))
-            .map(|e| e.key.0 .0)
-            .min()
+        // Read-only wheel scan; cheap at the front (the common case) and
+        // never worse than the O(n) heap scan it replaced. Only used by
+        // stepped drivers (`run_until`), never in the hot pop loop.
+        self.wheel.peek(&self.arena).map(|(t, _)| t)
     }
 
-    /// Drop every pending event.
+    /// Drop every pending event. Sequence numbers keep counting, so
+    /// handles issued before the clear stay dead forever.
     pub fn clear(&mut self) {
-        self.heap.clear();
-        self.cancelled.clear();
+        self.wheel.clear();
+        self.arena.clear();
         self.live = 0;
-        self.floor_seq = self.next_seq;
-        self.watermark = None;
     }
 }
 
@@ -198,6 +184,7 @@ mod tests {
         let unknown = EventId {
             time: t(9.0),
             seq: 99,
+            slot: 99,
         };
         assert!(!q.cancel(unknown));
         q.pop();
@@ -206,15 +193,16 @@ mod tests {
     }
 
     #[test]
-    fn cancel_after_tombstone_skipped_is_false() {
+    fn cancel_after_slot_reuse_is_false() {
+        // A fired event's slab slot is recycled for a new event; the old
+        // handle must fail the generation check, not cancel the newcomer.
         let mut q = EventQueue::new();
         let a = q.push(t(1.0), 1);
-        q.push(t(2.0), 2);
-        assert!(q.cancel(a));
-        // The pop at t=2 skips a's tombstone on the way.
-        assert_eq!(q.pop(), Some((t(2.0), 2)));
-        assert!(!q.cancel(a), "skipped tombstone must stay cancelled");
-        assert_eq!(q.len(), 0);
+        assert_eq!(q.pop(), Some((t(1.0), 1)));
+        let b = q.push(t(2.0), 2);
+        assert!(!q.cancel(a), "stale handle on a recycled slot");
+        assert_eq!(q.len(), 1);
+        assert!(q.cancel(b));
     }
 
     #[test]
@@ -265,7 +253,7 @@ mod tests {
     }
 
     #[test]
-    fn many_events_maintain_heap_invariant() {
+    fn many_events_maintain_order_invariant() {
         // Insert pseudo-random times; pops must come out sorted.
         let mut q = EventQueue::new();
         let mut x: u64 = 0x9E3779B97F4A7C15;
@@ -297,6 +285,17 @@ mod tests {
         }
         let got: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(got, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1.0), 1);
+        q.push(t(2.0), 2);
+        q.cancel(a);
+        q.pop();
+        let s = q.stats();
+        assert_eq!((s.pushes, s.pops, s.cancels), (2, 1, 1));
     }
 }
 

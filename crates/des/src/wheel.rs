@@ -1,0 +1,470 @@
+//! A hierarchical timing wheel over the microsecond clock.
+//!
+//! The wheel replaces the `BinaryHeap` inside [`crate::EventQueue`]. It
+//! holds only compact keys — slab slot indices into the
+//! [`crate::arena::EventArena`], threaded into per-slot chains through
+//! the arena's intrusive `next` links — so schedule, cancel, and the
+//! amortized per-event cascade work all touch O(1) memory, independent
+//! of how many events are pending.
+//!
+//! # Layout
+//!
+//! `LEVELS` (8) wheels of `SLOTS` (64) slots each. A level-`k` slot spans
+//! `64^k` µs, so level 0 resolves exact microsecond timestamps and the
+//! eight levels together cover `64^8` µs ≈ 8.9 simulated years; anything
+//! farther out parks in a far-future overflow ring and is folded back in
+//! if the clock ever gets there. An event at time `t` lives at the level
+//! of the highest base-64 digit in which `t` differs from the wheel
+//! cursor `cur` — i.e. as low as its distance allows — at slot index
+//! `(t >> 6k) & 63` (absolute indexing, no per-level offsets).
+//!
+//! # Cascade rules
+//!
+//! `cur` only advances during [`TimingWheel::pop`]: the search scans
+//! level 0 from the cursor's digit upward (a single `u64` occupancy
+//! bitmap per level makes that a `trailing_zeros`), and when the current
+//! level-0 window is empty it finds the next occupied slot of the lowest
+//! occupied higher level, moves `cur` to that slot's start, and lazily
+//! redistributes the slot's chain to lower levels (dead — cancelled —
+//! nodes are reclaimed right there instead of being re-placed). An event
+//! scheduled `d` µs ahead therefore pays at most `log64 d` O(1) moves
+//! over its lifetime, amortized constant for the simulator's workloads.
+//!
+//! # Exact total order
+//!
+//! Chains are unordered (pushes prepend), so when a level-0 slot comes
+//! due its live events are staged into a small recycled `due` batch and
+//! sorted by `(time, seq)` — one exact timestamp per slot means the sort
+//! almost always sees 0 or 1 elements. Pops drain the batch before
+//! touching the wheel again; events pushed *at* the popped instant land
+//! in the (already passed) level-0 slot, which the search revisits
+//! because its bitmap scan is inclusive of the cursor digit. The result
+//! is the same `(time, seq)` total order a stable binary heap produces,
+//! pinned bitwise by the wheel-vs-heap proptest in
+//! `crates/des/tests/wheel_vs_heap.rs`.
+//!
+//! Scheduling below the cursor ("into the past") is rejected by
+//! [`crate::Scheduler`]; the queue itself keeps the old best-effort
+//! contract — such events are merged into the due batch (or the cursor
+//! slot) and still pop first, exactly like the heap they replace.
+
+use crate::arena::{EventArena, NIL};
+use crate::time::SimTime;
+
+/// Slots per level; one `u64` occupancy bitmap per level.
+const SLOTS: usize = 64;
+/// Bits per base-64 digit.
+const DIGIT_BITS: u32 = 6;
+/// Wheel levels; total span `64^LEVELS` µs (~8.9 simulated years).
+const LEVELS: usize = 8;
+
+/// Base-64 digit `k` of `t`.
+#[inline]
+fn digit(t: u64, level: usize) -> u64 {
+    (t >> (DIGIT_BITS * level as u32)) & (SLOTS as u64 - 1)
+}
+
+/// The wheel: chains of arena slots plus the due batch and overflow ring.
+pub(crate) struct TimingWheel {
+    /// Occupancy bitmap per level (bit `s` = slot `s` chain non-empty).
+    occupied: [u64; LEVELS],
+    /// Chain heads per level/slot (`NIL` = empty).
+    heads: [[u32; SLOTS]; LEVELS],
+    /// Wheel cursor, µs: every live event is at or after `cur`, except
+    /// best-effort past pushes which are clamped into the due batch.
+    cur: u64,
+    /// The staged level-0 slot, sorted ascending by `(time, seq)`;
+    /// `due[due_pos..]` is still pending. Recycled between slots.
+    due: Vec<(u64, u64, u32)>,
+    due_pos: usize,
+    /// Events beyond the wheel span: `(time µs, seq, slot)` — unsorted,
+    /// folded back when the wheels drain.
+    overflow: Vec<(u64, u64, u32)>,
+    /// Total node re-placements (cascade moves), for perf counters.
+    cascades: u64,
+}
+
+impl TimingWheel {
+    pub fn new() -> Self {
+        TimingWheel {
+            occupied: [0; LEVELS],
+            heads: [[NIL; SLOTS]; LEVELS],
+            cur: 0,
+            due: Vec::new(),
+            due_pos: 0,
+            overflow: Vec::new(),
+            cascades: 0,
+        }
+    }
+
+    /// Cascade moves performed so far (diagnostics/perf counters).
+    pub fn cascades(&self) -> u64 {
+        self.cascades
+    }
+
+    /// Thread `slot` (already holding `(t, seq)` in the arena) into the
+    /// wheel.
+    pub fn schedule<E>(&mut self, arena: &mut EventArena<E>, t: SimTime, seq: u64, slot: u32) {
+        let tm = t.as_micros();
+        if tm <= self.cur && self.due_pos < self.due.len() {
+            // Best-effort past push while a due batch is active: it must
+            // pop before the batch remainder, so merge it in, keeping the
+            // batch sorted. Never taken by `Scheduler` (which rejects
+            // past scheduling); `t == cur` with an active batch also
+            // lands here and sorts after the batch by its higher seq.
+            let key = (tm, seq, slot);
+            let at = self.due[self.due_pos..].partition_point(|e| *e < key) + self.due_pos;
+            self.due.insert(at, key);
+            return;
+        }
+        self.place(arena, tm.max(self.cur), seq, slot);
+    }
+
+    /// Put `slot` into the level/slot derived from `tm ≥ cur`. The
+    /// arena's stored time is authoritative for delivery; `tm` is only
+    /// the placement key (past pushes clamp it to `cur`).
+    fn place<E>(&mut self, arena: &mut EventArena<E>, tm: u64, seq: u64, slot: u32) {
+        let x = tm ^ self.cur;
+        let level = if x == 0 {
+            0
+        } else {
+            ((63 - x.leading_zeros()) / DIGIT_BITS) as usize
+        };
+        if level >= LEVELS {
+            self.overflow.push((tm, seq, slot));
+            return;
+        }
+        let s = digit(tm, level) as usize;
+        arena.entry_mut(slot).next = self.heads[level][s];
+        self.heads[level][s] = slot;
+        self.occupied[level] |= 1 << s;
+    }
+
+    /// Deliver the earliest live event: `(time, seq, payload)`.
+    pub fn pop<E>(&mut self, arena: &mut EventArena<E>) -> Option<(SimTime, u64, E)> {
+        loop {
+            while self.due_pos < self.due.len() {
+                let (tm, seq, slot) = self.due[self.due_pos];
+                self.due_pos += 1;
+                debug_assert!(arena.entry(slot).seq == seq, "due slot was recycled");
+                if let Some(payload) = arena.take_and_free(slot) {
+                    return Some((SimTime::from_micros(tm), seq, payload));
+                }
+            }
+            self.due.clear();
+            self.due_pos = 0;
+            if !self.stage_next(arena) {
+                if self.overflow.is_empty() {
+                    return None;
+                }
+                self.rebase(arena);
+            }
+        }
+    }
+
+    /// Advance the cursor to the next occupied level-0 slot (cascading
+    /// higher levels as needed) and stage its live chain into `due`.
+    /// Returns `false` when every wheel is empty.
+    fn stage_next<E>(&mut self, arena: &mut EventArena<E>) -> bool {
+        'search: loop {
+            let d0 = digit(self.cur, 0);
+            let m = (self.occupied[0] >> d0) << d0;
+            if m != 0 {
+                let s = m.trailing_zeros() as usize;
+                self.occupied[0] &= !(1 << s);
+                let mut node = self.heads[0][s];
+                self.heads[0][s] = NIL;
+                // The slot's exact timestamp; past-clamped events may
+                // carry earlier stored times and sort first.
+                self.cur = (self.cur & !(SLOTS as u64 - 1)) | s as u64;
+                while node != NIL {
+                    let e = arena.entry(node);
+                    let next = e.next;
+                    if e.payload.is_some() {
+                        self.due.push((e.time.as_micros(), e.seq, node));
+                    } else {
+                        arena.free(node);
+                    }
+                    node = next;
+                }
+                if self.due.is_empty() {
+                    continue; // all dead; keep searching
+                }
+                if self.due.len() > 1 {
+                    self.due.sort_unstable();
+                }
+                return true;
+            }
+            for level in 1..LEVELS {
+                let dk = digit(self.cur, level);
+                let m = (self.occupied[level] >> dk) << dk;
+                if m == 0 {
+                    continue;
+                }
+                let s = m.trailing_zeros() as usize;
+                self.occupied[level] &= !(1 << s);
+                let head = self.heads[level][s];
+                self.heads[level][s] = NIL;
+                // This chain is the earliest pending region, so the
+                // cursor can jump straight to its earliest live time
+                // (every other event is beyond this slot's range): the
+                // minimum then re-places at level 0 directly and the rest
+                // land strictly below `level`, skipping the intermediate
+                // cascade hops and empty low-level rescans a slot-start
+                // cursor would pay. All-dead chains fall back to the
+                // slot's start.
+                let mut min_live = u64::MAX;
+                let mut node = head;
+                while node != NIL {
+                    let e = arena.entry(node);
+                    if e.payload.is_some() {
+                        min_live = min_live.min(e.time.as_micros());
+                    }
+                    node = e.next;
+                }
+                let width = 1u64 << (DIGIT_BITS * level as u32);
+                self.cur = if min_live == u64::MAX {
+                    (self.cur & !(width * SLOTS as u64 - 1)) | (s as u64 * width)
+                } else {
+                    min_live
+                };
+                let mut node = head;
+                while node != NIL {
+                    let e = arena.entry(node);
+                    let next = e.next;
+                    if e.payload.is_some() {
+                        let (tm, seq) = (e.time.as_micros(), e.seq);
+                        self.place(arena, tm, seq, node);
+                        self.cascades += 1;
+                    } else {
+                        arena.free(node);
+                    }
+                    node = next;
+                }
+                continue 'search;
+            }
+            return false;
+        }
+    }
+
+    /// Fold far-future overflow events back into the wheel once it has
+    /// drained: jump the cursor to the earliest live overflow time and
+    /// re-place whatever now fits (the rest stays parked).
+    fn rebase<E>(&mut self, arena: &mut EventArena<E>) {
+        let mut min_tm = u64::MAX;
+        for &(tm, seq, slot) in &self.overflow {
+            if arena.is_live(slot, seq) {
+                min_tm = min_tm.min(tm);
+            }
+        }
+        let items = std::mem::take(&mut self.overflow);
+        if min_tm == u64::MAX {
+            // Everything parked out there was cancelled.
+            for (_, _, slot) in items {
+                arena.free(slot);
+            }
+            return;
+        }
+        self.cur = self.cur.max(min_tm);
+        for (tm, seq, slot) in items {
+            if !arena.is_live(slot, seq) {
+                arena.free(slot);
+            } else if (tm ^ self.cur) >> (DIGIT_BITS * LEVELS as u32) == 0 {
+                self.place(arena, tm, seq, slot);
+            } else {
+                self.overflow.push((tm, seq, slot));
+            }
+        }
+    }
+
+    /// `(time, seq)` of the earliest live event without delivering it.
+    /// Read-only, so it scans chains instead of cascading; the scan is
+    /// bounded by the occupancy of the first non-dead slot it meets.
+    pub fn peek<E>(&self, arena: &EventArena<E>) -> Option<(SimTime, u64)> {
+        for &(tm, seq, slot) in &self.due[self.due_pos..] {
+            if arena.is_live(slot, seq) {
+                return Some((SimTime::from_micros(tm), seq));
+            }
+        }
+        for level in 0..LEVELS {
+            let dk = digit(self.cur, level);
+            let mut m = (self.occupied[level] >> dk) << dk;
+            while m != 0 {
+                let s = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let mut best: Option<(u64, u64)> = None;
+                let mut node = self.heads[level][s];
+                while node != NIL {
+                    let e = arena.entry(node);
+                    if e.payload.is_some() {
+                        let key = (e.time.as_micros(), e.seq);
+                        if best.is_none_or(|b| key < b) {
+                            best = Some(key);
+                        }
+                    }
+                    node = e.next;
+                }
+                if let Some((tm, seq)) = best {
+                    return Some((SimTime::from_micros(tm), seq));
+                }
+                // All-dead slot: the next slot of the same level is still
+                // earlier than anything at higher levels.
+            }
+        }
+        let mut best: Option<(u64, u64)> = None;
+        for &(tm, seq, slot) in &self.overflow {
+            if arena.is_live(slot, seq) {
+                let key = (tm, seq);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+        best.map(|(tm, seq)| (SimTime::from_micros(tm), seq))
+    }
+
+    /// Forget every chain. The arena is cleared by the caller; capacities
+    /// (due/overflow buffers) are retained, and the cursor keeps its
+    /// position so the clock stays monotone.
+    pub fn clear(&mut self) {
+        self.occupied = [0; LEVELS];
+        self.heads = [[NIL; SLOTS]; LEVELS];
+        self.due.clear();
+        self.due_pos = 0;
+        self.overflow.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(micros: u64) -> SimTime {
+        SimTime::from_micros(micros)
+    }
+
+    /// Drive the wheel directly (the queue-level tests in
+    /// `crate::queue` cover the public API; these pin the internals).
+    struct Rig {
+        wheel: TimingWheel,
+        arena: EventArena<u64>,
+        seq: u64,
+    }
+
+    impl Rig {
+        fn new() -> Self {
+            Rig {
+                wheel: TimingWheel::new(),
+                arena: EventArena::new(),
+                seq: 0,
+            }
+        }
+
+        fn push(&mut self, micros: u64) -> (u64, u32) {
+            let seq = self.seq;
+            self.seq += 1;
+            let slot = self.arena.insert(t(micros), seq, micros);
+            self.wheel.schedule(&mut self.arena, t(micros), seq, slot);
+            (seq, slot)
+        }
+
+        fn pop(&mut self) -> Option<u64> {
+            self.wheel.pop(&mut self.arena).map(|(tm, _, p)| {
+                assert_eq!(tm.as_micros(), p);
+                p
+            })
+        }
+    }
+
+    #[test]
+    fn cross_level_times_pop_sorted() {
+        let mut r = Rig::new();
+        // One event per level boundary region, pushed out of order.
+        let times = [
+            5u64,
+            64 + 3,
+            64 * 64 + 9,
+            64 * 64 * 64 + 1,
+            16_777_216 + 77, // 64^4
+            1_073_741_824,   // 64^5
+            0,
+            63,
+            64,
+        ];
+        for &tm in &times {
+            r.push(tm);
+        }
+        let mut sorted = times.to_vec();
+        sorted.sort_unstable();
+        let got: Vec<u64> = std::iter::from_fn(|| r.pop()).collect();
+        assert_eq!(got, sorted);
+    }
+
+    #[test]
+    fn same_slot_events_sort_by_seq() {
+        let mut r = Rig::new();
+        for _ in 0..5 {
+            r.push(1000);
+        }
+        let mut seqs = Vec::new();
+        while let Some((tm, seq, _)) = r.wheel.pop(&mut r.arena) {
+            assert_eq!(tm, t(1000));
+            seqs.push(seq);
+        }
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cascade_counts_and_reclaims_dead_nodes() {
+        let mut r = Rig::new();
+        let far = 64 * 64 + 5; // level 2: two cascade moves to level 0
+        let (seq, slot) = r.push(far);
+        r.push(far + 1);
+        assert!(r.arena.invalidate(slot, seq));
+        assert_eq!(r.pop(), Some(far + 1));
+        assert_eq!(r.pop(), None);
+        // The live event cascaded 2→1→0; the dead one was reclaimed at
+        // the first cascade instead of travelling further.
+        assert!(r.wheel.cascades() >= 1);
+    }
+
+    #[test]
+    fn overflow_ring_round_trips() {
+        let mut r = Rig::new();
+        let span = 64u64.pow(8);
+        r.push(span + 123); // beyond the wheels: parks in overflow
+        r.push(50);
+        assert_eq!(r.wheel.overflow.len(), 1);
+        assert_eq!(r.pop(), Some(50));
+        assert_eq!(r.pop(), Some(span + 123));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn peek_skips_dead_and_matches_pop() {
+        let mut r = Rig::new();
+        let (s1, sl1) = r.push(10);
+        r.push(900);
+        assert_eq!(r.wheel.peek(&r.arena), Some((t(10), s1)));
+        assert!(r.arena.invalidate(sl1, s1));
+        assert_eq!(r.wheel.peek(&r.arena), Some((t(900), 1)));
+        assert_eq!(r.pop(), Some(900));
+        assert_eq!(r.wheel.peek(&r.arena), None);
+    }
+
+    #[test]
+    fn push_at_popped_instant_pops_after_batch() {
+        let mut r = Rig::new();
+        r.push(100);
+        r.push(100);
+        assert_eq!(r.pop(), Some(100));
+        // Mid-batch push at the same instant: must pop after the batch
+        // remainder (higher seq), like a stable heap.
+        r.push(100);
+        let mut seqs = Vec::new();
+        while let Some((_, seq, _)) = r.wheel.pop(&mut r.arena) {
+            seqs.push(seq);
+        }
+        assert_eq!(seqs, vec![1, 2]);
+    }
+}

@@ -1,0 +1,235 @@
+//! Wheel-vs-heap equivalence: the timing-wheel `EventQueue` must be
+//! observationally identical to the `BinaryHeap` + tombstone design it
+//! replaced. A reference implementation of the old queue lives in this
+//! file, and proptest drives both side-by-side through random
+//! schedule/cancel/pop interleavings — including deltas spanning every
+//! wheel level and the far-future overflow ring — plus a deterministic
+//! model of the Optimized Gossiping-2 postpone storm (the cancel-heavy
+//! pattern the O(1) invalidation exists for). Every pop and every
+//! `cancel` return value must match exactly.
+
+use ia_des::{EventId, EventQueue, SimTime};
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// The pre-wheel queue: stable `(time, seq)` heap keys with a tombstone
+/// set, plus an explicit live-id set standing in for the old watermark
+/// heuristic. (The heap's watermark could misreport a cancel as "already
+/// fired" after pushing below a skipped tombstone's key — a corner its
+/// own docs called unsupported; the wheel's generation check gets it
+/// right, so the reference models the ideal contract: `cancel` is `true`
+/// exactly when the event is genuinely pending.)
+struct RefQueue<E> {
+    heap: BinaryHeap<Reverse<(u64, u64, ValueCell<E>)>>,
+    live: HashSet<u64>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+/// Payload wrapper that compares as always-equal so the heap orders
+/// purely on `(time, seq)`.
+struct ValueCell<E>(E);
+impl<E> PartialEq for ValueCell<E> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<E> Eq for ValueCell<E> {}
+impl<E> PartialOrd for ValueCell<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for ValueCell<E> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<E> RefQueue<E> {
+    fn new() -> Self {
+        RefQueue {
+            heap: BinaryHeap::new(),
+            live: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Returns this push's sequence number as the cancellation handle.
+    fn push(&mut self, t: u64, event: E) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live.insert(seq);
+        self.heap.push(Reverse((t, seq, ValueCell(event))));
+        seq
+    }
+
+    fn cancel(&mut self, seq: u64) -> bool {
+        if self.live.remove(&seq) {
+            self.cancelled.insert(seq);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn pop(&mut self) -> Option<(u64, E)> {
+        while let Some(Reverse((t, seq, cell))) = self.heap.pop() {
+            if self.cancelled.remove(&seq) {
+                continue;
+            }
+            self.live.remove(&seq);
+            return Some((t, cell.0));
+        }
+        None
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Schedule at `last popped time + delta` with the next payload id.
+    Push(u64),
+    /// Cancel the `i % issued`-th handle ever issued (may be long dead).
+    Cancel(usize),
+    Pop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Deltas chosen to land on every wheel level: level 0 (≤63 µs), mid
+    // levels, the top level, and past the 64^8 span into the overflow
+    // ring. The vendored `prop_oneof!` is unweighted, so the common
+    // small-delta and pop arms are simply repeated.
+    prop_oneof![
+        (0u64..64).prop_map(Op::Push),
+        (0u64..64).prop_map(Op::Push),
+        (0u64..100_000).prop_map(Op::Push),
+        (0u64..100_000).prop_map(Op::Push),
+        (0u64..4_000_000_000).prop_map(Op::Push),
+        (1u64 << 47..1 << 52).prop_map(Op::Push),
+        any::<usize>().prop_map(Op::Cancel),
+        any::<usize>().prop_map(Op::Cancel),
+        Just(Op::Pop),
+        Just(Op::Pop),
+        Just(Op::Pop),
+    ]
+}
+
+/// Run one op sequence through both queues, asserting identical
+/// observable behaviour at every step.
+fn drive(ops: &[Op]) {
+    let mut wheel: EventQueue<usize> = EventQueue::new();
+    let mut heap: RefQueue<usize> = RefQueue::new();
+    // (wheel handle, time, ref seq) per issued id, for cancels.
+    let mut issued: Vec<(EventId, u64, u64)> = Vec::new();
+    let mut now = 0u64;
+    let mut payload = 0usize;
+
+    for op in ops {
+        match op {
+            Op::Push(delta) => {
+                let t = now.saturating_add(*delta);
+                let id = wheel.push(SimTime::from_micros(t), payload);
+                let seq = heap.push(t, payload);
+                issued.push((id, t, seq));
+                payload += 1;
+            }
+            Op::Cancel(i) => {
+                if issued.is_empty() {
+                    continue;
+                }
+                let (id, _t, seq) = issued[i % issued.len()];
+                let got = wheel.cancel(id);
+                let want = heap.cancel(seq);
+                prop_assert_eq!(got, want, "cancel of seq {} diverged; ops={:?}", seq, ops);
+            }
+            Op::Pop => {
+                let got = wheel.pop();
+                let want = heap.pop();
+                let got = got.map(|(t, p)| (t.as_micros(), p));
+                prop_assert_eq!(got, want, "pop diverged at now={}", now);
+                if let Some((t, _)) = got {
+                    now = t;
+                }
+            }
+        }
+    }
+    // Drain both to the end: full pop order must agree.
+    loop {
+        let got = wheel.pop().map(|(t, p)| (t.as_micros(), p));
+        let want = heap.pop();
+        prop_assert_eq!(got, want, "drain diverged");
+        if got.is_none() {
+            break;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn wheel_matches_heap(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        drive(&ops);
+    }
+}
+
+/// The Optimized Gossiping-2 pattern: each received copy cancels the
+/// pending broadcast timer and reschedules it later, so one delivery can
+/// produce dozens of cancel+push pairs. Model 32 peers postponing across
+/// interleaved pops and check the final delivery order agrees.
+#[test]
+fn postpone_storm_matches_heap() {
+    let mut wheel: EventQueue<usize> = EventQueue::new();
+    let mut heap: RefQueue<usize> = RefQueue::new();
+    let mut timers: Vec<(EventId, u64, u64)> = Vec::new(); // per peer
+
+    // Every peer arms an initial timer.
+    for peer in 0..32usize {
+        let t = 1_000 + 37 * peer as u64;
+        let id = wheel.push(SimTime::from_micros(t), peer);
+        let seq = heap.push(t, peer);
+        timers.push((id, t, seq));
+    }
+
+    let mut x: u64 = 0xDEADBEEFCAFE;
+    let mut rand = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+
+    let mut now = 0u64;
+    for round in 0..2_000 {
+        // A "copy arrives" at a pseudo-random peer: postpone its timer.
+        let peer = (rand() % 32) as usize;
+        let (id, _t, seq) = timers[peer];
+        let a = wheel.cancel(id);
+        let b = heap.cancel(seq);
+        assert_eq!(a, b, "postpone cancel diverged for peer {peer}");
+        let t2 = now + 500 + rand() % 50_000;
+        let id2 = wheel.push(SimTime::from_micros(t2), peer);
+        let seq2 = heap.push(t2, peer);
+        timers[peer] = (id2, t2, seq2);
+
+        // Occasionally let time advance.
+        if round % 5 == 0 {
+            let got = wheel.pop().map(|(t, p)| (t.as_micros(), p));
+            let want = heap.pop();
+            assert_eq!(got, want, "pop diverged in round {round}");
+            if let Some((t, _)) = got {
+                now = t;
+            }
+        }
+    }
+    loop {
+        let got = wheel.pop().map(|(t, p)| (t.as_micros(), p));
+        let want = heap.pop();
+        assert_eq!(got, want, "drain diverged");
+        if got.is_none() {
+            break;
+        }
+    }
+}

@@ -2,9 +2,17 @@
 //! paper-scale fig-7 presets, the ext-6 chaos preset, and (with `--city`)
 //! two city-scale presets that stress the flat CSR spatial index.
 //!
-//! Every run writes a JSON report (default `BENCH_4.json`) so future PRs
+//! Every run writes a JSON report (default `BENCH_5.json`) so future PRs
 //! have a trajectory to beat; `--check FILE` turns the binary into a CI
-//! regression gate against a checked-in baseline.
+//! regression gate against a checked-in baseline. Reports carry a
+//! `meta` provenance block (rustc version, CPU model, git commit) so
+//! checked-in baselines are auditable, per-preset operation counters
+//! (queue pushes/pops/cancels/cascades, grid rebuilds/queries — all
+//! deterministic), and a wall-clock phase breakdown (queue / grid /
+//! protocol / observer nanoseconds) collected from one extra
+//! instrumented run per preset so the headline timings stay clean.
+//! `--check` and `--reference` parse only the headline fields inside
+//! `presets`, so the extra blocks never perturb the gates.
 //!
 //! Usage:
 //!   cargo run --release -p ia-experiments --bin perfstat -- \
@@ -18,7 +26,7 @@
 //! * `--runs N`     repeat each preset N times, keep the fastest (default 1;
 //!   timings are min-of-N, event counts are per run and identical across
 //!   repeats by determinism).
-//! * `--out FILE`   where to write the JSON report (default `BENCH_4.json`).
+//! * `--out FILE`   where to write the JSON report (default `BENCH_5.json`).
 //! * `--check FILE` read a previous report and fail (exit 1) if any preset
 //!   regressed by more than 20 % in ns/event (presets absent from the
 //!   baseline are skipped).
@@ -31,8 +39,9 @@
 //! for machine noise while catching real hot-path regressions.
 
 use ia_core::ProtocolKind;
-use ia_des::SimDuration;
+use ia_des::{QueueStats, SimDuration};
 use ia_experiments::figures::chaos;
+use ia_experiments::world::PhaseProfile;
 use ia_experiments::{Scenario, World};
 use ia_geo::{Point, Rect};
 use std::time::Instant;
@@ -42,6 +51,12 @@ struct Measurement {
     name: &'static str,
     events: u64,
     wall_s: f64,
+    /// Deterministic operation counters from the timed run.
+    queue: QueueStats,
+    grid_rebuilds: u64,
+    grid_queries: u64,
+    /// Wall-clock phase breakdown from a separate instrumented run.
+    phases: PhaseProfile,
 }
 
 impl Measurement {
@@ -136,27 +151,51 @@ fn chaos_preset(quick: bool) -> (&'static str, Scenario) {
     ("ext6-chaos-severe", s)
 }
 
-/// Run one scenario to the horizon, timed. Returns (events, wall seconds).
-fn time_run(scenario: &Scenario) -> (u64, f64) {
+/// Run one scenario to the horizon, timed. Returns the events, wall
+/// seconds, and the deterministic operation counters.
+fn time_run(scenario: &Scenario) -> (u64, f64, QueueStats, u64, u64) {
     let mut world = World::new(scenario.clone());
     let start = Instant::now();
     world.run();
     let wall = start.elapsed().as_secs_f64();
-    (world.events_processed(), wall)
+    (
+        world.events_processed(),
+        wall,
+        world.queue_stats(),
+        world.medium().grid_rebuilds(),
+        world.medium().grid_queries(),
+    )
+}
+
+/// One extra run with phase profiling on. Its timer-read overhead never
+/// touches the headline numbers, which come from `time_run` alone.
+fn profile_run(scenario: &Scenario) -> PhaseProfile {
+    let mut world = World::new(scenario.clone());
+    world.enable_phase_profile();
+    world.run();
+    *world.phase_profile().expect("profiling enabled")
 }
 
 fn measure(name: &'static str, scenario: &Scenario, runs: usize) -> Measurement {
     let mut best_wall = f64::INFINITY;
     let mut events = 0;
+    let mut queue = QueueStats::default();
+    let mut grid_rebuilds = 0;
+    let mut grid_queries = 0;
     for _ in 0..runs.max(1) {
-        let (ev, wall) = time_run(scenario);
+        let (ev, wall, q, gr, gq) = time_run(scenario);
         events = ev;
         best_wall = best_wall.min(wall);
+        (queue, grid_rebuilds, grid_queries) = (q, gr, gq);
     }
     let m = Measurement {
         name,
         events,
         wall_s: best_wall,
+        queue,
+        grid_rebuilds,
+        grid_queries,
+        phases: profile_run(scenario),
     };
     println!(
         "{:<22} {:>12} events  {:>9.3} s  {:>12.0} ev/s  {:>8.1} ns/event",
@@ -166,7 +205,71 @@ fn measure(name: &'static str, scenario: &Scenario, runs: usize) -> Measurement 
         m.events_per_sec(),
         m.ns_per_event()
     );
+    println!(
+        "{:<22} queue {}/{}/{} push/pop/cancel ({} cascades)  grid {}/{} rebuilds/queries  phases q/g/p/o {}/{}/{}/{} ms",
+        "",
+        m.queue.pushes,
+        m.queue.pops,
+        m.queue.cancels,
+        m.queue.cascades,
+        m.grid_rebuilds,
+        m.grid_queries,
+        m.phases.queue_ns / 1_000_000,
+        m.phases.grid_ns / 1_000_000,
+        m.phases.protocol_ns / 1_000_000,
+        m.phases.observer_ns / 1_000_000,
+    );
     m
+}
+
+/// First stdout line of a command, for the provenance block.
+fn cmd_line(bin: &str, args: &[&str]) -> Option<String> {
+    let out = std::process::Command::new(bin).args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let text = String::from_utf8_lossy(&out.stdout);
+    text.lines().next().map(|l| l.trim().to_string())
+}
+
+/// The host CPU model, from /proc/cpuinfo (absent on non-Linux hosts).
+fn cpu_model() -> Option<String> {
+    let info = std::fs::read_to_string("/proc/cpuinfo").ok()?;
+    info.lines()
+        .find(|l| l.starts_with("model name"))
+        .and_then(|l| l.split(':').nth(1))
+        .map(|s| s.trim().to_string())
+}
+
+/// Escape an arbitrary provenance string for JSON embedding.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The provenance block: toolchain, host, and commit, all best-effort
+/// (`unknown` when undeterminable). The gates never parse this block.
+fn meta_block() -> String {
+    let rustc = cmd_line("rustc", &["-V"]).unwrap_or_else(|| "unknown".into());
+    let commit =
+        cmd_line("git", &["rev-parse", "--short", "HEAD"]).unwrap_or_else(|| "unknown".into());
+    let cpu = cpu_model().unwrap_or_else(|| "unknown".into());
+    format!(
+        "  \"meta\": {{\"rustc\": {}, \"git_commit\": {}, \"cpu\": {}}},\n",
+        json_string(&rustc),
+        json_string(&commit),
+        json_string(&cpu)
+    )
 }
 
 fn json_escape_free(s: &str) -> &str {
@@ -186,15 +289,32 @@ fn render_json(measurements: &[Measurement], quick: bool, reference: Option<&str
         .map(|d| d.as_secs())
         .unwrap_or(0);
     out.push_str(&format!("  \"created_unix\": {unix},\n"));
+    out.push_str(&meta_block());
     out.push_str("  \"presets\": {\n");
     for (i, m) in measurements.iter().enumerate() {
+        // Headline fields first: the `--check`/`--reference` extractor
+        // reads the first occurrence after the preset name, so the
+        // counter and phase fields after them are invisible to the gates.
         out.push_str(&format!(
-            "    \"{}\": {{\"events\": {}, \"wall_s\": {:.6}, \"events_per_sec\": {:.1}, \"ns_per_event\": {:.2}}}{}\n",
+            "    \"{}\": {{\"events\": {}, \"wall_s\": {:.6}, \"events_per_sec\": {:.1}, \"ns_per_event\": {:.2}, \
+             \"queue_pushes\": {}, \"queue_pops\": {}, \"queue_cancels\": {}, \"queue_cascades\": {}, \
+             \"grid_rebuilds\": {}, \"grid_queries\": {}, \
+             \"queue_ns\": {}, \"grid_ns\": {}, \"protocol_ns\": {}, \"observer_ns\": {}}}{}\n",
             json_escape_free(m.name),
             m.events,
             m.wall_s,
             m.events_per_sec(),
             m.ns_per_event(),
+            m.queue.pushes,
+            m.queue.pops,
+            m.queue.cancels,
+            m.queue.cascades,
+            m.grid_rebuilds,
+            m.grid_queries,
+            m.phases.queue_ns,
+            m.phases.grid_ns,
+            m.phases.protocol_ns,
+            m.phases.observer_ns,
             if i + 1 < measurements.len() { "," } else { "" }
         ));
     }
@@ -226,7 +346,7 @@ fn main() {
     let mut quick = false;
     let mut city = false;
     let mut runs = 1usize;
-    let mut out_path = String::from("BENCH_4.json");
+    let mut out_path = String::from("BENCH_5.json");
     let mut check: Option<String> = None;
     let mut reference: Option<String> = None;
     let mut it = args.iter();

@@ -77,6 +77,24 @@ pub struct World {
     /// Per-node online flag; departed nodes are radio-silent and ignore
     /// timers.
     online: Vec<bool>,
+    /// Wall-clock phase breakdown, off (and branch-only overhead) unless
+    /// [`World::enable_phase_profile`] was called. The perf harness
+    /// measures its headline numbers in a separate, uninstrumented run.
+    profile: Option<Box<PhaseProfile>>,
+}
+
+/// Wall-clock nanoseconds spent in each hot phase of a run, collected
+/// only when phase profiling is enabled. The buckets cover the dominant
+/// code paths rather than partitioning the total: `queue_ns` is the
+/// scheduler pop loop, `grid_ns` the medium broadcast (spatial query +
+/// channel), `protocol_ns` the protocol callbacks, and `observer_ns` the
+/// broadcast/suppression observer fan-out.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseProfile {
+    pub queue_ns: u64,
+    pub grid_ns: u64,
+    pub protocol_ns: u64,
+    pub observer_ns: u64,
 }
 
 /// Velocity-estimation window for the paper's "two consecutive recorded
@@ -254,6 +272,7 @@ impl World {
             cursor: FleetCursor::new(),
             ad_ids,
             online,
+            profile: None,
         }
     }
 
@@ -288,10 +307,40 @@ impl World {
         }
     }
 
+    /// Enable the wall-clock phase breakdown for this run. Adds timer
+    /// reads around the hot phases, so enable it only on runs whose
+    /// headline timing is not being measured.
+    pub fn enable_phase_profile(&mut self) {
+        self.profile = Some(Box::default());
+    }
+
+    /// The phase breakdown collected so far, if profiling is enabled.
+    pub fn phase_profile(&self) -> Option<&PhaseProfile> {
+        self.profile.as_deref()
+    }
+
+    /// Lifetime scheduler-queue operation counters.
+    pub fn queue_stats(&self) -> ia_des::QueueStats {
+        self.sched.queue_stats()
+    }
+
     /// Drive the run to the horizon.
     pub fn run(&mut self) {
-        while let Some(ev) = self.sched.pop() {
-            self.handle(ev);
+        if self.profile.is_some() {
+            loop {
+                let t0 = std::time::Instant::now();
+                let ev = self.sched.pop();
+                let dt = t0.elapsed().as_nanos() as u64;
+                if let Some(p) = self.profile.as_deref_mut() {
+                    p.queue_ns += dt;
+                }
+                let Some(ev) = ev else { break };
+                self.handle(ev);
+            }
+        } else {
+            while let Some(ev) = self.sched.pop() {
+                self.handle(ev);
+            }
         }
     }
 
@@ -441,7 +490,11 @@ impl World {
         f: impl FnOnce(&mut dyn Protocol, &mut PeerContext<'_>, &mut ActionSink),
     ) {
         let mut sink = std::mem::take(&mut self.sink);
+        let t0 = self.profile.as_deref().map(|_| std::time::Instant::now());
         self.with_ctx(node, now, |peer, ctx| f(peer, ctx, &mut sink));
+        if let (Some(t0), Some(p)) = (t0, self.profile.as_deref_mut()) {
+            p.protocol_ns += t0.elapsed().as_nanos() as u64;
+        }
         self.apply(node, now, &mut sink);
         self.sink = sink;
     }
@@ -490,6 +543,7 @@ impl World {
                     // Take/restore the outcome buffer (like `sink`) so the
                     // scheduler below can borrow the rest of `self`.
                     let mut outcome = std::mem::take(&mut self.outcome);
+                    let t0 = self.profile.as_deref().map(|_| std::time::Instant::now());
                     self.medium.broadcast_into(
                         &self.fleet,
                         now,
@@ -498,17 +552,26 @@ impl World {
                         &mut self.radio_rng,
                         &mut outcome,
                     );
-                    let count = |r: DropReason| {
-                        outcome.drops.iter().filter(|d| d.reason == r).count() as u64
-                    };
+                    if let (Some(t0), Some(p)) = (t0, self.profile.as_deref_mut()) {
+                        p.grid_ns += t0.elapsed().as_nanos() as u64;
+                    }
+                    let (mut dropped, mut jammed, mut collisions) = (0, 0, 0);
+                    for d in &outcome.drops {
+                        match d.reason {
+                            DropReason::Loss => dropped += 1,
+                            DropReason::Jam => jammed += 1,
+                            DropReason::Collision => collisions += 1,
+                        }
+                    }
                     let info = BroadcastInfo {
                         bytes,
                         receivers: outcome.deliveries.len(),
-                        dropped: count(DropReason::Loss),
-                        jammed: count(DropReason::Jam),
-                        collisions: count(DropReason::Collision),
+                        dropped,
+                        jammed,
+                        collisions,
                     };
                     let shared = Arc::new(msg);
+                    let t0 = self.profile.as_deref().map(|_| std::time::Instant::now());
                     self.bus.broadcast(now, node, &shared, &info);
                     for d in &outcome.drops {
                         let reason = match d.reason {
@@ -517,6 +580,9 @@ impl World {
                             DropReason::Collision => SuppressReason::Collision,
                         };
                         self.bus.suppress(now, d.to, &shared, reason);
+                    }
+                    if let (Some(t0), Some(p)) = (t0, self.profile.as_deref_mut()) {
+                        p.observer_ns += t0.elapsed().as_nanos() as u64;
                     }
                     for d in outcome.deliveries.drain(..) {
                         self.sched.schedule_at(

@@ -107,6 +107,12 @@ pub struct Medium {
     /// Burst-loss channel plus its activity window (fault injection).
     /// Applies on top of `config.loss`.
     burst: Option<(SimTime, SimTime, GilbertElliott)>,
+    /// Queries served from the current snapshot since its rebuild —
+    /// the adaptive-refresh demand signal (see [`Medium::refresh_grid`]).
+    queries_since_rebuild: u32,
+    /// Lifetime grid counters for the perf harness.
+    grid_rebuilds: u64,
+    grid_queries: u64,
 }
 
 impl Medium {
@@ -124,7 +130,21 @@ impl Medium {
             tx_log: TxLog::new(),
             jam_zones: Vec::new(),
             burst: None,
+            queries_since_rebuild: 0,
+            grid_rebuilds: 0,
+            grid_queries: 0,
         }
+    }
+
+    /// Lifetime count of snapshot/grid rebuilds.
+    pub fn grid_rebuilds(&self) -> u64 {
+        self.grid_rebuilds
+    }
+
+    /// Lifetime count of grid queries (one per broadcast or neighbour
+    /// probe).
+    pub fn grid_queries(&self) -> u64 {
+        self.grid_queries
     }
 
     pub fn config(&self) -> &RadioConfig {
@@ -188,13 +208,38 @@ impl Medium {
         self.grid_built_at = None;
     }
 
-    /// Ensure the neighbour grid snapshot is no staler than
-    /// `config.grid_refresh` relative to `now`. The snapshot is sampled
-    /// in one cursor pass and the CSR grid is rebuilt in place over it —
-    /// a warm rebuild allocates nothing.
+    /// Refresh the neighbour grid snapshot, adaptively: the base
+    /// `config.grid_refresh` cadence only *arms* a rebuild; it actually
+    /// happens once enough queries have been served from the stale
+    /// snapshot to amortize the O(n) resample (`max(8, n/64)` — until
+    /// then the stale-widened path is cheaper in total), or when the
+    /// widening margin outgrows the radio range (at which point stale
+    /// queries scan ~4× the disk area and a rebuild pays for itself).
+    /// Idle stretches thus cost one rebuild per `max(8, n/64)` queries
+    /// instead of one per `grid_refresh` interval; busy stretches keep
+    /// the old per-interval cadence.
+    ///
+    /// Skipping a rebuild is bitwise-safe, not an approximation: stale
+    /// queries widen the search disk by the worst-case drift and then
+    /// exact-check every candidate at `now`, so fresh and stale paths
+    /// return identical outcomes (pinned by the determinism goldens and
+    /// `adaptive_refresh_is_outcome_identical` below). Only when a
+    /// rebuild fires is it relevant that the snapshot equals the exact
+    /// positions.
+    ///
+    /// The snapshot is sampled in one cursor pass and the CSR grid is
+    /// rebuilt in place over it — a warm rebuild allocates nothing.
     fn refresh_grid(&mut self, fleet: &Fleet, now: SimTime) -> SimTime {
+        self.grid_queries += 1;
         let needs_rebuild = match self.grid_built_at {
-            Some(built_at) => now.since(built_at) > self.config.grid_refresh,
+            Some(built_at) => {
+                let staleness = now.since(built_at);
+                staleness > self.config.grid_refresh && {
+                    let demand = (self.snapshot.len() as u32 / 64).max(8);
+                    let margin = 2.0 * self.widening_speed() * staleness.as_secs();
+                    self.queries_since_rebuild >= demand || margin > self.config.range
+                }
+            }
             None => true,
         };
         if needs_rebuild {
@@ -202,6 +247,10 @@ impl Medium {
             self.grid
                 .rebuild(self.config.range.max(1.0), &self.snapshot);
             self.grid_built_at = Some(now);
+            self.grid_rebuilds += 1;
+            self.queries_since_rebuild = 0;
+        } else {
+            self.queries_since_rebuild += 1;
         }
         self.grid_built_at.unwrap()
     }
@@ -325,14 +374,16 @@ impl Medium {
             self.tx_log.prune(now);
             self.tx_log.record(now, sender_pos);
         }
-        let count = |r: DropReason| out.drops.iter().filter(|d| d.reason == r).count();
-        self.stats.record_broadcast(
-            bytes,
-            out.deliveries.len(),
-            count(DropReason::Loss),
-            count(DropReason::Jam),
-            count(DropReason::Collision),
-        );
+        let (mut lost, mut jammed, mut collided) = (0, 0, 0);
+        for d in &out.drops {
+            match d.reason {
+                DropReason::Loss => lost += 1,
+                DropReason::Jam => jammed += 1,
+                DropReason::Collision => collided += 1,
+            }
+        }
+        self.stats
+            .record_broadcast(bytes, out.deliveries.len(), lost, jammed, collided);
     }
 
     /// Nodes currently within range of `node` (excluding itself), in id
@@ -685,9 +736,9 @@ mod tests {
                 .len(),
             0
         );
-        // t=0.9 s: node 1 at 253.5 m — still out; t=1.0 s (grid still the
-        // t=0 one, staleness at the refresh boundary): 253 m — out; after
-        // the rebuild at t=1.6 s it is at 250 m — in range.
+        // t=0.9 s: node 1 at 253.5 m — still out. At t=1.6 s it is at
+        // 250 m — in range; whether the adaptive policy rebuilds or keeps
+        // serving the widened t=0 snapshot, the exact check must find it.
         assert_eq!(
             medium
                 .broadcast(&fleet, SimTime::from_secs(0.9), 0, 10, &mut rng)
@@ -729,6 +780,101 @@ mod tests {
             medium.position_snapshot().unwrap().0,
             SimTime::from_secs(2.6)
         );
+    }
+
+    #[test]
+    fn adaptive_refresh_is_outcome_identical() {
+        // The adaptive cadence may serve queries from an arbitrarily
+        // stale snapshot; the widened-then-exact-checked path must return
+        // bitwise the same deliveries and drops as a medium that rebuilds
+        // before every single broadcast. (Out-of-range candidates are
+        // filtered before any RNG draw, so the streams stay aligned.)
+        let end = SimTime::from_secs(100.0);
+        let legs = |x0: f64, v: f64| {
+            Trajectory::new(vec![ia_mobility::Leg::new(
+                SimTime::ZERO,
+                end,
+                Point::new(x0, 0.0),
+                Point::new(x0 + v * 100.0, 0.0),
+            )])
+        };
+        let fleet = Fleet::from_trajectories(vec![
+            Trajectory::stationary(Point::ORIGIN, SimTime::ZERO, end),
+            legs(240.0, 4.0),  // drifts out of range
+            legs(260.0, -4.0), // drifts into range
+            legs(80.0, 2.0),
+            legs(-200.0, 1.5),
+        ]);
+        let cfg = RadioConfig::paper()
+            .with_max_speed(40.0)
+            .with_loss(LossModel::Bernoulli(0.25));
+        let run = |rebuild_every_time: bool| {
+            let mut medium = Medium::new(cfg.clone());
+            let mut rng = SimRng::from_master(21);
+            let mut log = Vec::new();
+            for step in 0..120 {
+                if rebuild_every_time {
+                    medium.invalidate_grid();
+                }
+                let t = SimTime::from_secs(step as f64 * 0.31);
+                let out = medium.broadcast(&fleet, t, 0, 50, &mut rng);
+                log.push(out);
+            }
+            (log, medium.stats().clone())
+        };
+        let (log_adaptive, stats_adaptive) = run(false);
+        let (log_fresh, stats_fresh) = run(true);
+        assert_eq!(log_adaptive, log_fresh);
+        assert_eq!(stats_adaptive, stats_fresh);
+    }
+
+    #[test]
+    fn adaptive_refresh_amortizes_low_demand_rebuilds() {
+        // A stationary fleet (zero widening margin) queried once per 2 s:
+        // the old cadence-only policy rebuilt on every one of these
+        // queries. The adaptive policy rebuilds only once per `max(8,
+        // n/64)` stale-served queries, so 20 sparse queries cost 2
+        // cadence rebuilds (at the 8-query marks) on top of the initial
+        // build — and the results stay exact throughout.
+        let end = SimTime::from_secs(1000.0);
+        let fleet = Fleet::from_trajectories(vec![
+            Trajectory::stationary(Point::ORIGIN, SimTime::ZERO, end),
+            Trajectory::stationary(Point::new(100.0, 0.0), SimTime::ZERO, end),
+        ]);
+        let mut medium = Medium::new(RadioConfig::paper());
+        medium.set_fleet_speed_bound(fleet.max_speed()); // 0 m/s
+        let mut rng = SimRng::from_master(22);
+        for step in 0..20 {
+            // One broadcast every 2 s: cadence (1 s) elapses every time.
+            let t = SimTime::from_secs(step as f64 * 2.0);
+            let out = medium.broadcast(&fleet, t, 0, 10, &mut rng);
+            assert_eq!(out.deliveries.len(), 1, "results stay exact");
+        }
+        assert_eq!(medium.grid_queries(), 20);
+        assert_eq!(
+            medium.grid_rebuilds(),
+            3,
+            "initial build + one rebuild per 8 stale queries, not per interval"
+        );
+    }
+
+    #[test]
+    fn adaptive_refresh_caps_margin_growth() {
+        // With the default 40 m/s worst-case bound the widening margin
+        // passes the 250 m range at ~3.1 s staleness; the cap must then
+        // rebuild even though demand is low.
+        let fleet = static_fleet(&[(0.0, 0.0), (100.0, 0.0)]);
+        let mut medium = Medium::new(RadioConfig::paper());
+        let mut rng = SimRng::from_master(23);
+        medium.broadcast(&fleet, SimTime::ZERO, 0, 10, &mut rng);
+        medium.broadcast(&fleet, SimTime::from_secs(2.0), 0, 10, &mut rng);
+        assert_eq!(
+            medium.grid_rebuilds(),
+            1,
+            "margin 160 m: still stale-served"
+        );
+        medium.broadcast(&fleet, SimTime::from_secs(4.0), 0, 10, &mut rng);
+        assert_eq!(medium.grid_rebuilds(), 2, "margin 320 m > range: rebuilt");
     }
 
     #[test]
